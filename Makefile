@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short bench fuzz vet fmt experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/query/
+	$(GO) test -fuzz=FuzzParseFact -fuzztime=30s ./internal/db/
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+cover:
+	$(GO) test -cover ./internal/...
+
+experiments:
+	$(GO) run ./cmd/cqa-bench -exp all
+
+clean:
+	$(GO) clean ./...

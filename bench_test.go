@@ -1,0 +1,266 @@
+// Package cqa holds the repository-level benchmark harness: one testing.B
+// benchmark per experiment of EXPERIMENTS.md. Absolute numbers depend on
+// hardware; the shapes (polynomial vs exponential growth, who wins) are
+// what reproduce the paper's claims.
+package cqa
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cqa/internal/attack"
+	"cqa/internal/baseline"
+	"cqa/internal/conp"
+	"cqa/internal/counting"
+	"cqa/internal/db"
+	"cqa/internal/match"
+	"cqa/internal/ptime"
+	"cqa/internal/query"
+	"cqa/internal/rewrite"
+	"cqa/internal/sqlmini"
+	"cqa/internal/workload"
+)
+
+// --- E1/E2/E4: classification cost ---
+
+func BenchmarkClassifyFigure1(b *testing.B) {
+	q := query.MustParse("R(x|y), S(y|z), T(z|x), U(x|u), V(x,u|v)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := attack.Classify(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkClassifyRandom(b *testing.B, atoms int) {
+	rng := rand.New(rand.NewSource(42))
+	p := workload.DefaultQueryParams()
+	p.Atoms = atoms
+	p.Vars = atoms + 2
+	queries := make([]query.Query, 64)
+	for i := range queries {
+		queries[i] = workload.RandomQuery(rng, p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := attack.Classify(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassifyRandom4(b *testing.B)  { benchmarkClassifyRandom(b, 4) }
+func BenchmarkClassifyRandom8(b *testing.B)  { benchmarkClassifyRandom(b, 8) }
+func BenchmarkClassifyRandom12(b *testing.B) { benchmarkClassifyRandom(b, 12) }
+
+// --- E5: FO engine scaling ---
+
+func chainDB(n int, inconsistent float64, seed int64) *db.DB {
+	rng := rand.New(rand.NewSource(seed))
+	q := query.MustParse("R(x | y), S(y | z)")
+	d := db.New()
+	for i := 0; i < n; i++ {
+		x := query.Const(fmt.Sprintf("x%d", i))
+		y := query.Const(fmt.Sprintf("y%d", i))
+		d.Add(db.Fact{Rel: q.Atoms[0].Rel, Args: []query.Const{x, y}})
+		d.Add(db.Fact{Rel: q.Atoms[1].Rel, Args: []query.Const{y, "z"}})
+		if rng.Float64() < inconsistent {
+			y2 := query.Const(fmt.Sprintf("y%d_b", i))
+			d.Add(db.Fact{Rel: q.Atoms[0].Rel, Args: []query.Const{x, y2}})
+			d.Add(db.Fact{Rel: q.Atoms[1].Rel, Args: []query.Const{y2, "z"}})
+		}
+	}
+	return d
+}
+
+func benchmarkCertainFO(b *testing.B, n int) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	d := chainDB(n, 0.3, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rewrite.Certain(q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCertainFO1k(b *testing.B)  { benchmarkCertainFO(b, 1000) }
+func BenchmarkCertainFO10k(b *testing.B) { benchmarkCertainFO(b, 10000) }
+
+// --- E6: P engine (dissolution) scaling on q0 ---
+
+func benchmarkCertainPTimeQ0(b *testing.B, nodes int) {
+	rng := rand.New(rand.NewSource(11))
+	q := workload.Q0()
+	d := workload.Q0Instance(rng, nodes, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ptime.Certain(q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCertainPTimeQ0n100(b *testing.B)  { benchmarkCertainPTimeQ0(b, 100) }
+func BenchmarkCertainPTimeQ0n1000(b *testing.B) { benchmarkCertainPTimeQ0(b, 1000) }
+
+func BenchmarkCertainPTimeFigure2(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	q := query.MustParse("R(x | y, v), S(y | x), V1#c(v | w), W(w | v), V2#c(w | y)")
+	p := workload.DefaultDBParams()
+	p.SeedMatches = 20
+	p.Domain = 4
+	d := workload.RandomDB(rng, q, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ptime.Certain(q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7: coNP engine on strong-cycle gadgets ---
+
+func benchmarkCertainCoNP(b *testing.B, vars int) {
+	rng := rand.New(rand.NewSource(17))
+	q := workload.NonKeyJoinQuery()
+	d := workload.HardInstance(rng, vars, 2*vars, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conp.Certain(q, d)
+	}
+}
+
+func BenchmarkCertainCoNPVars8(b *testing.B)  { benchmarkCertainCoNP(b, 8) }
+func BenchmarkCertainCoNPVars16(b *testing.B) { benchmarkCertainCoNP(b, 16) }
+func BenchmarkCertainCoNPVars24(b *testing.B) { benchmarkCertainCoNP(b, 24) }
+
+// --- E8: rewriting construction ---
+
+func BenchmarkRewritingConstruction(b *testing.B) {
+	q := workload.PathQuery(6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rewrite.Rewriting(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: purification ---
+
+func BenchmarkPurify(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	q := workload.NonKeyJoinQuery()
+	p := workload.DefaultDBParams()
+	p.SeedMatches = 50
+	p.Domain = 10
+	p.Noise = 200
+	d := workload.RandomDB(rng, q, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		match.Purify(q, d)
+	}
+}
+
+func BenchmarkGPurify(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	q := workload.Q0()
+	d := workload.Q0Instance(rng, 60, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := match.GPurify(q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E10: match enumeration substrate ---
+
+func BenchmarkAllMatchesChain(b *testing.B) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	d := chainDB(2000, 0.3, 29)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		match.AllMatches(q, d)
+	}
+}
+
+// --- E12: q0 on reachability-style instances ---
+
+func BenchmarkQ0Reachability(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	q := workload.Q0()
+	d := workload.Q0Instance(rng, 300, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ptime.Certain(q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E13: exact counting ---
+
+func BenchmarkCountingFactorized(b *testing.B) {
+	q := workload.Q0()
+	d := db.New()
+	for i := 0; i < 40; i++ {
+		x := query.Const(fmt.Sprintf("x%d", i))
+		y := query.Const(fmt.Sprintf("y%d", i))
+		d.Add(db.Fact{Rel: q.Atoms[0].Rel, Args: []query.Const{x, y}})
+		d.Add(db.Fact{Rel: q.Atoms[0].Rel, Args: []query.Const{x, query.Const(fmt.Sprintf("yd%d", i))}})
+		d.Add(db.Fact{Rel: q.Atoms[1].Rel, Args: []query.Const{y, x}})
+		d.Add(db.Fact{Rel: q.Atoms[1].Rel, Args: []query.Const{y, query.Const(fmt.Sprintf("xd%d", i))}})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := counting.SatisfyingRepairs(q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E14: baseline engine ---
+
+func BenchmarkFMRewritingChain(b *testing.B) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	d := chainDB(2000, 0.3, 37)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.FMCertain(q, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: SQL bridge ---
+
+func BenchmarkSQLEvalChain(b *testing.B) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	sql, err := rewrite.SQL(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := chainDB(200, 0.3, 41)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlmini.EvalString(sql, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

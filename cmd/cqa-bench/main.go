@@ -1,0 +1,22 @@
+// Command cqa-bench regenerates the experiment tables and figures of
+// EXPERIMENTS.md: the paper's formal artifacts (E1-E3, E8) recomputed by
+// the library, and synthetic benchmarks validating each complexity claim
+// (E4-E7, E9-E12).
+//
+// Usage:
+//
+//	cqa-bench              # run everything
+//	cqa-bench -exp E6      # one experiment
+//	cqa-bench -list        # list experiments
+//	cqa-bench -quick       # small sweeps (seconds instead of minutes)
+package main
+
+import (
+	"os"
+
+	"cqa/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunBench(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,23 @@
+// Command cqa-classify classifies CERTAINTY(q) for a self-join-free
+// conjunctive query per the trichotomy of Koutris & Wijsen (PODS 2015)
+// and prints the attack graph behind the decision.
+//
+// Usage:
+//
+//	cqa-classify [-dot] [-markov] [-plus] [-explain] 'R(x | y), S(y | z)'
+//	cqa-classify -catalog
+//
+// Query syntax: atoms separated by commas; key positions left of the
+// bar; '#c' marks a consistent relation; quoted or numeric tokens are
+// constants. Example: "R(x | y), S#c(y | 'b')".
+package main
+
+import (
+	"os"
+
+	"cqa/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunClassify(os.Args[1:], os.Stdout, os.Stderr))
+}

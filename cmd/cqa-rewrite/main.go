@@ -1,0 +1,21 @@
+// Command cqa-rewrite prints the consistent first-order rewriting of
+// CERTAINTY(q) for queries whose attack graph is acyclic (Theorem 2 /
+// Lemma 10 of Koutris & Wijsen, PODS 2015), in logic notation or as a
+// ConQuer-style SQL statement.
+//
+// Usage:
+//
+//	cqa-rewrite 'R(x | y), S(y | z)'
+//	cqa-rewrite -sql 'R(x | y), S(y | z)'
+//	cqa-rewrite -catalog
+package main
+
+import (
+	"os"
+
+	"cqa/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunRewrite(os.Args[1:], os.Stdout, os.Stderr))
+}

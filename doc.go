@@ -1,0 +1,13 @@
+// Package cqa is a complete Go implementation of Koutris and Wijsen,
+// "The Data Complexity of Consistent Query Answering for Self-Join-Free
+// Conjunctive Queries Under Primary Key Constraints" (PODS 2015).
+//
+// The module root carries the repository-level benchmark harness; the
+// library lives under internal/ with core as the public facade:
+//
+//	cls, _ := core.Classify(q)                   // FO / P\FO / coNP-complete
+//	res, _ := core.Certain(q, db, core.Options{}) // certain answer
+//
+// See README.md for the guided tour, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for the paper-vs-measured record.
+package cqa

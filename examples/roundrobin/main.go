@@ -1,0 +1,90 @@
+// Round-robin pairing: the polynomial-time dissolution engine at work.
+//
+// An on-call roster pairs engineers: OnCall(e | b) says e's pager
+// escalates to b, and Backup(b | e) says b covers e. Both tables come
+// from conflicting spreadsheet imports, so primary keys are violated.
+// The safety question — "is there certainly SOME mutually paired couple
+// (e escalates to b and b covers e)?" — is the paper's canonical query
+// q0 = {R(x | y), S(y | x)}: its attack graph is a weak cycle, so
+// CERTAINTY(q0) is in P but NOT first-order expressible, and the solver
+// must run the Markov-cycle dissolution of Theorem 4.
+//
+// Run with: go run ./examples/roundrobin
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/ptime"
+	"cqa/internal/query"
+)
+
+func main() {
+	q, err := query.Parse("OnCall(e | b), Backup(b | e)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cls, err := core.Classify(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %s\n", q)
+	fmt.Printf("CERTAINTY(q) is %v — no first-order rewriting exists (Theorem 2),\n", cls.Class)
+	fmt.Printf("but the dissolution algorithm of Theorem 4 decides it in polynomial time.\n\n")
+
+	// The imports disagree on alice's escalation target, on who bob
+	// covers, and on who erin covers.
+	d, err := db.ParseFacts(q.Schema(), `
+		OnCall(alice | bob)
+		OnCall(alice | carol)
+		OnCall(dana | erin)
+		Backup(bob | alice)
+		Backup(bob | gus)
+		Backup(carol | alice)
+		Backup(erin | dana)
+		Backup(erin | frank)
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("roster (%d facts, %.0f repairs):\n", d.Len(), d.NumRepairs())
+	for _, f := range d.Facts() {
+		fmt.Printf("  %s\n", f)
+	}
+
+	certain, stats, err := ptime.Certain(q, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncertainly some mutual pair? %v\n", certain)
+	fmt.Printf("solver effort: levels=%d dissolutions=%d gpurify=%d\n",
+		stats.Levels, stats.Dissolutions, stats.GPurifyRuns)
+
+	// Not certain: resolving alice -> bob, bob -> gus, erin -> frank
+	// leaves no mutual pair. Exhibit such a resolution.
+	if !certain {
+		repair, found, err := core.FalsifyingRepair(q, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if found {
+			fmt.Println("a resolution with no mutual pair:")
+			for _, f := range repair {
+				fmt.Printf("  %s\n", f)
+			}
+		}
+	}
+
+	// Pin erin to dana (drop the frank row). Now dana <-> erin is mutual
+	// in every repair, and the dissolution engine proves certainty.
+	d2 := d.Filter(func(f db.Fact) bool { return f.String() != "Backup(erin | frank)" })
+	certain2, stats2, err := ptime.Certain(q, d2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter pinning erin -> dana: certain? %v (dissolutions: %d)\n",
+		certain2, stats2.Dissolutions)
+}

@@ -1,0 +1,81 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/query"
+	"cqa/internal/workload"
+)
+
+func benchQueries(n, count int) []query.Query {
+	rng := rand.New(rand.NewSource(1))
+	p := workload.DefaultQueryParams()
+	p.Atoms = n
+	p.Vars = n + 2
+	out := make([]query.Query, count)
+	for i := range out {
+		out[i] = workload.RandomQuery(rng, p)
+	}
+	return out
+}
+
+func benchmarkBuildGraph(b *testing.B, atoms int) {
+	qs := benchQueries(atoms, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildGraph(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildGraph4(b *testing.B)  { benchmarkBuildGraph(b, 4) }
+func BenchmarkBuildGraph8(b *testing.B)  { benchmarkBuildGraph(b, 8) }
+func BenchmarkBuildGraph16(b *testing.B) { benchmarkBuildGraph(b, 16) }
+
+func BenchmarkClassifyOnly(b *testing.B) {
+	qs := benchQueries(8, 32)
+	graphs := make([]*Graph, len(qs))
+	for i, q := range qs {
+		g, err := BuildGraph(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		graphs[i] = g
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graphs[i%len(graphs)].Classify()
+	}
+}
+
+func BenchmarkExplain(b *testing.B) {
+	g, err := BuildGraph(query.MustParse("R(x|y), S(y|z), T(z|x), U(x|u), V(x,u|v)"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Explain()
+	}
+}
+
+func BenchmarkAttacksVar(b *testing.B) {
+	g, err := BuildGraph(query.MustParse("R(x|y), S(y|z), T(z|x), U(x|u), V(x,u|v)"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	vars := g.Q.Vars().Sorted()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range g.Q.Atoms {
+			for _, v := range vars {
+				g.AttacksVar(j, v)
+			}
+		}
+	}
+}

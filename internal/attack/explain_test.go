@@ -1,0 +1,93 @@
+package attack
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cqa/internal/workload"
+)
+
+func TestExplainFO(t *testing.T) {
+	g := mustGraph(t, "R(x | y), S(y | z)")
+	e := g.Explain()
+	if e.Class != FO {
+		t.Fatalf("class %v", e.Class)
+	}
+	if len(e.EliminationOrder) != 2 {
+		t.Fatalf("order %v", e.EliminationOrder)
+	}
+	// R must come before S (S is attacked by R).
+	if g.Q.Atoms[e.EliminationOrder[0]].Rel.Name != "R" {
+		t.Errorf("elimination should start with R: %v", e.EliminationOrder)
+	}
+	if !strings.Contains(e.Text, "acyclic") || !strings.Contains(e.Text, "FO") {
+		t.Errorf("text: %s", e.Text)
+	}
+}
+
+func TestExplainWeak(t *testing.T) {
+	g := mustGraph(t, "R0(x | y), S0(y | x)")
+	e := g.Explain()
+	if e.Class != PTime {
+		t.Fatalf("class %v", e.Class)
+	}
+	for _, frag := range []string{"weak", "P and L-hard", "witness", "~>"} {
+		if !strings.Contains(e.Text, frag) {
+			t.Errorf("text missing %q:\n%s", frag, e.Text)
+		}
+	}
+}
+
+func TestExplainStrong(t *testing.T) {
+	g := mustGraph(t, "R(x | y), S(u | y)")
+	e := g.Explain()
+	if e.Class != CoNPComplete {
+		t.Fatalf("class %v", e.Class)
+	}
+	for _, frag := range []string{"strong cycle", "coNP-complete", "does not determine"} {
+		if !strings.Contains(e.Text, frag) {
+			t.Errorf("text missing %q:\n%s", frag, e.Text)
+		}
+	}
+	i, j := e.CyclePair[0], e.CyclePair[1]
+	if !g.Edge[i][j] || !g.Edge[j][i] {
+		t.Error("CyclePair is not a 2-cycle")
+	}
+	if g.WeakEdge[i][j] && g.WeakEdge[j][i] {
+		t.Error("CyclePair should include a strong attack")
+	}
+}
+
+// TestExplainConsistentWithClassify: Explain never contradicts Classify
+// and, on FO queries, the elimination order is complete and valid.
+func TestExplainConsistentWithClassify(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 400; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 1 + rng.Intn(5)
+		q := workload.RandomQuery(rng, p)
+		g, err := BuildGraph(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := g.Explain()
+		if e.Class != g.Classify() {
+			t.Fatalf("Explain class %v != Classify %v on %s", e.Class, g.Classify(), q)
+		}
+		if e.Class == FO {
+			if len(e.EliminationOrder) != q.Len() {
+				t.Fatalf("incomplete elimination order on %s: %v", q, e.EliminationOrder)
+			}
+			removed := make([]bool, q.Len())
+			for _, j := range e.EliminationOrder {
+				for i := 0; i < q.Len(); i++ {
+					if !removed[i] && g.Edge[i][j] {
+						t.Fatalf("atom %d eliminated while attacked by %d in %s", j, i, q)
+					}
+				}
+				removed[j] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/attack"
+	"cqa/internal/query"
+	"cqa/internal/workload"
+)
+
+// TestCforestSubsetOfFO: every Cforest query must be classified FO by the
+// trichotomy (Fuxman-Miller rewritability is subsumed by Theorem 2).
+func TestCforestSubsetOfFO(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	inForest := 0
+	for trial := 0; trial < 3000; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 1 + rng.Intn(4)
+		q := workload.RandomQuery(rng, p)
+		if !InCforest(q) {
+			continue
+		}
+		inForest++
+		cls, _, err := attack.Classify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cls != attack.FO {
+			t.Fatalf("Cforest query %s classified %v, want FO", q, cls)
+		}
+	}
+	if inForest < 50 {
+		t.Fatalf("only %d Cforest queries generated; loosen the generator", inForest)
+	}
+}
+
+func TestCforestExamples(t *testing.T) {
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"R(x | y), S(y | z)", true},    // key join chain
+		{"R(x | y), S(u | y)", false},   // non-key join (not full key)
+		{"R0(x | y), S0(y | x)", false}, // join-graph cycle
+		{"R(x | y)", true},              // single atom
+		{"R(x | y), S(y | z), T(z | w)", true},
+		{"R(x | y, z), S(y | w)", true},      // full-key join on y
+		{"R(x | y, z), S(y, z | w)", true},   // full composite key
+		{"R(x | y, z), S(z, y2 | w)", false}, // partial key join
+	}
+	for _, c := range cases {
+		q := query.MustParse(c.q)
+		if got := InCforest(q); got != c.want {
+			t.Errorf("InCforest(%q) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestKPAgreesWithTrichotomy: on two-atom queries, the Kolaitis-Pema
+// dichotomy (P vs coNP-complete) matches the trichotomy's boundary.
+func TestKPAgreesWithTrichotomy(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	for trial := 0; trial < 2000; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 2
+		q := workload.RandomQuery(rng, p)
+		if q.Len() != 2 {
+			continue
+		}
+		kp, err := KPClassify(q)
+		if err != nil {
+			continue // outside the Kolaitis-Pema fragment (mode-c atom)
+		}
+		cls, _, err := attack.Classify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantHard := cls == attack.CoNPComplete
+		gotHard := kp == KPCoNPComplete
+		if wantHard != gotHard {
+			t.Fatalf("KP=%v trichotomy=%v on %s", kp, cls, q)
+		}
+	}
+}
+
+// TestKSAgreesWithTrichotomy: on the simple-key fragment, the
+// Koutris-Suciu dichotomy matches the trichotomy's P/coNP boundary.
+func TestKSAgreesWithTrichotomy(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	tested := 0
+	for trial := 0; trial < 3000; trial++ {
+		q := workload.RandomSimpleKeyQuery(rng, 1+rng.Intn(5), 3, 4)
+		ks, err := KSClassify(q)
+		if err != nil {
+			continue
+		}
+		tested++
+		cls, _, err := attack.Classify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantHard := cls == attack.CoNPComplete
+		gotHard := ks == KSCoNPComplete
+		if wantHard != gotHard {
+			t.Fatalf("KS=%v trichotomy=%v on %s", ks, cls, q)
+		}
+	}
+	if tested < 500 {
+		t.Fatalf("only %d simple-key queries tested", tested)
+	}
+}
+
+func TestKPRejectsWrongArity(t *testing.T) {
+	if _, err := KPClassify(query.MustParse("R(x | y)")); err == nil {
+		t.Error("expected error for one atom")
+	}
+	if _, err := KPClassify(query.MustParse("R(x | y), S(y | z), T(z | x)")); err == nil {
+		t.Error("expected error for three atoms")
+	}
+}
+
+func TestKSRejectsOutOfFragment(t *testing.T) {
+	if _, err := KSClassify(query.MustParse("R(x, y | z)")); err == nil {
+		t.Error("expected error for composite key")
+	}
+	if _, err := KSClassify(query.MustParse("R(x | 'c')")); err == nil {
+		t.Error("expected error for constants")
+	}
+	if _, err := KSClassify(query.MustParse("R#c(x | y)")); err == nil {
+		t.Error("expected error for mode-c atom")
+	}
+}
+
+func TestKnownKPExamples(t *testing.T) {
+	hard, err := KPClassify(query.MustParse("R(x | y), S(u | y)"))
+	if err != nil || hard != KPCoNPComplete {
+		t.Errorf("non-key join should be coNP-complete: %v %v", hard, err)
+	}
+	easy, err := KPClassify(workload.Q0())
+	if err != nil || easy != KPPolynomial {
+		t.Errorf("q0 should be P: %v %v", easy, err)
+	}
+}

@@ -1,0 +1,94 @@
+package baseline
+
+import (
+	"fmt"
+
+	"cqa/internal/db"
+	"cqa/internal/match"
+	"cqa/internal/query"
+)
+
+// FMCertain evaluates CERTAINTY(q) for queries in Fuxman and Miller's
+// class Cforest, following the recursive structure of their first-order
+// rewriting (ICDT 2005): process the join forest root-first; for each
+// root atom, some block must match the key pattern such that EVERY fact
+// of the block satisfies the non-key pattern and recursively certain
+// subtrees. This is the historical baseline the paper generalizes; on
+// Cforest queries it must agree with the Lemma 9/10 engine, which the
+// tests verify.
+func FMCertain(q query.Query, d *db.DB) (bool, error) {
+	if !InCforest(q) {
+		return false, fmt.Errorf("baseline: %s is not in Cforest", q)
+	}
+	e := &fmEval{ix: match.NewIndex(d), memo: map[string]bool{}}
+	return e.certain(q), nil
+}
+
+type fmEval struct {
+	ix   *match.Index
+	memo map[string]bool
+}
+
+func (e *fmEval) certain(q query.Query) bool {
+	if q.Empty() {
+		return true
+	}
+	key := q.Canonical()
+	if v, ok := e.memo[key]; ok {
+		return v
+	}
+	res := e.certainUncached(q)
+	e.memo[key] = res
+	return res
+}
+
+func (e *fmEval) certainUncached(q query.Query) bool {
+	root, ok := forestRoot(q)
+	if !ok {
+		return false
+	}
+	f := q.Atoms[root]
+	rest := q.Remove(f)
+	for _, b := range e.ix.DB.BlocksOf(f.Rel.Name) {
+		if len(b.Facts) == 0 {
+			continue
+		}
+		theta := query.Valuation{}
+		if !match.UnifyTerms(f.KeyArgs(), b.Facts[0].Key(), theta) {
+			continue
+		}
+		allGood := true
+		for _, fact := range b.Facts {
+			thetaPlus := theta.Clone()
+			if !match.UnifyTerms(f.NonKeyArgs(), fact.NonKey(), thetaPlus) {
+				allGood = false
+				break
+			}
+			if !e.certain(rest.Substitute(thetaPlus)) {
+				allGood = false
+				break
+			}
+		}
+		if allGood {
+			return true
+		}
+	}
+	return false
+}
+
+// forestRoot returns an atom with indegree zero in the join graph: a
+// root of the join forest. Instantiated queries may have fewer join
+// edges than the original, so roots always exist for (instantiations
+// of) Cforest queries.
+func forestRoot(q query.Query) (int, bool) {
+	indeg := make([]int, q.Len())
+	for _, e := range JoinGraph(q) {
+		indeg[e.To]++
+	}
+	for i, d := range indeg {
+		if d == 0 {
+			return i, true
+		}
+	}
+	return 0, false
+}

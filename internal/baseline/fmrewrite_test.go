@@ -1,0 +1,84 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/naive"
+	"cqa/internal/query"
+	"cqa/internal/rewrite"
+	"cqa/internal/workload"
+)
+
+func TestFMCertainRejectsOutsideCforest(t *testing.T) {
+	if _, err := FMCertain(workload.Q0(), nil); err == nil {
+		t.Fatal("q0 is not in Cforest")
+	}
+}
+
+func TestFMCertainBasic(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	d := mustFacts(t, `
+		R(a | b)
+		S(b | c)
+	`)
+	got, err := FMCertain(q, d)
+	if err != nil || !got {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	d.Add(mustFacts(t, "R(a | dead)").Facts()[0])
+	got, err = FMCertain(q, d)
+	if err != nil || got {
+		t.Fatalf("after dead tuple: got %v, %v", got, err)
+	}
+}
+
+// TestFMAgreesWithKW: on Cforest queries the Fuxman-Miller evaluation
+// agrees with the Lemma 9/10 engine and the oracle.
+func TestFMAgreesWithKW(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	tested := 0
+	for trial := 0; trial < 4000 && tested < 250; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 1 + rng.Intn(4)
+		q := workload.RandomQuery(rng, p)
+		if !InCforest(q) {
+			continue
+		}
+		tested++
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		fm, err := FMCertain(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kw, err := rewrite.Certain(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fm != kw {
+			t.Fatalf("FM=%v KW=%v on %s\ndb:\n%s", fm, kw, q, d)
+		}
+		if d.NumRepairs() <= 1<<12 {
+			oracle, err := naive.Certain(q, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fm != oracle {
+				t.Fatalf("FM=%v oracle=%v on %s\ndb:\n%s", fm, oracle, q, d)
+			}
+		}
+	}
+	if tested < 100 {
+		t.Fatalf("only %d Cforest queries tested", tested)
+	}
+}
+
+func mustFacts(t *testing.T, lines string) *db.DB {
+	t.Helper()
+	d, err := db.ParseFacts(nil, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

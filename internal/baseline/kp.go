@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"fmt"
+
+	"cqa/internal/query"
+	"cqa/internal/schema"
+)
+
+// KPClass is the two-valued answer of the Kolaitis-Pema dichotomy.
+type KPClass int
+
+const (
+	// KPPolynomial: CERTAINTY(q) is in P.
+	KPPolynomial KPClass = iota
+	// KPCoNPComplete: CERTAINTY(q) is coNP-complete.
+	KPCoNPComplete
+)
+
+func (c KPClass) String() string {
+	if c == KPCoNPComplete {
+		return "coNP-complete"
+	}
+	return "P"
+}
+
+// closure2 computes the closure of a variable set under the two key
+// dependencies of a two-atom query, written out directly so that this
+// baseline does not share code with the attack-graph machinery.
+func closure2(start query.VarSet, fds [][2]query.VarSet) query.VarSet {
+	out := start.Clone()
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fds {
+			if f[0].SubsetOf(out) {
+				for v := range f[1] {
+					if !out.Has(v) {
+						out.Add(v)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// KPClassify implements the Kolaitis-Pema dichotomy for self-join-free
+// conjunctive queries with exactly two atoms (IPL 2012): CERTAINTY(q) is
+// coNP-complete iff the atoms attack each other and at least one of the
+// attacks is strong; otherwise it is in P. For two atoms F, G the attack
+// F -> G reduces to a single condition — some shared variable escapes the
+// closure of key(F) under G's key dependency — which this function
+// evaluates directly.
+func KPClassify(q query.Query) (KPClass, error) {
+	if q.Len() != 2 {
+		return KPPolynomial, fmt.Errorf("baseline: Kolaitis-Pema needs exactly two atoms, got %d", q.Len())
+	}
+	if !q.SelfJoinFree() {
+		return KPPolynomial, fmt.Errorf("baseline: query has a self-join")
+	}
+	for _, a := range q.Atoms {
+		if a.Rel.Mode == schema.ModeC {
+			return KPPolynomial, fmt.Errorf("baseline: Kolaitis-Pema fragment has no mode-c relations, got %s", a.Rel)
+		}
+	}
+	f, g := q.Atoms[0], q.Atoms[1]
+	fdF := [2]query.VarSet{f.KeyVars(), f.Vars()}
+	fdG := [2]query.VarSet{g.KeyVars(), g.Vars()}
+	shared := f.Vars().Intersect(g.Vars())
+
+	attacksFG := false
+	plusF := closure2(f.KeyVars(), [][2]query.VarSet{fdG})
+	for v := range shared {
+		if !plusF.Has(v) {
+			attacksFG = true
+		}
+	}
+	attacksGF := false
+	plusG := closure2(g.KeyVars(), [][2]query.VarSet{fdF})
+	for v := range shared {
+		if !plusG.Has(v) {
+			attacksGF = true
+		}
+	}
+	if !attacksFG || !attacksGF {
+		return KPPolynomial, nil
+	}
+	both := [][2]query.VarSet{fdF, fdG}
+	weakFG := g.KeyVars().SubsetOf(closure2(f.KeyVars(), both))
+	weakGF := f.KeyVars().SubsetOf(closure2(g.KeyVars(), both))
+	if weakFG && weakGF {
+		return KPPolynomial, nil
+	}
+	return KPCoNPComplete, nil
+}

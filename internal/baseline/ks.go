@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"fmt"
+
+	"cqa/internal/query"
+	"cqa/internal/schema"
+)
+
+// KSClass is the two-valued answer of the Koutris-Suciu dichotomy for
+// simple-key queries.
+type KSClass int
+
+const (
+	// KSPolynomial: CERTAINTY(q) is in P.
+	KSPolynomial KSClass = iota
+	// KSCoNPComplete: CERTAINTY(q) is coNP-complete.
+	KSCoNPComplete
+)
+
+func (c KSClass) String() string {
+	if c == KSCoNPComplete {
+		return "coNP-complete"
+	}
+	return "P"
+}
+
+// KSClassify decides the Koutris-Suciu dichotomy (ICDT 2014) for
+// self-join-free queries in which every primary key consists of a single
+// attribute holding a variable and no constants occur. Theorem 1 of
+// Koutris & Wijsen subsumes that dichotomy, and on the simple-key
+// fragment the boundary coincides with the existence of a strong attack
+// 2-cycle; this function evaluates that boundary from first principles
+// (single-variable key dependencies only), independently of the attack
+// package, so the two implementations check each other.
+func KSClassify(q query.Query) (KSClass, error) {
+	if !q.SelfJoinFree() {
+		return KSPolynomial, fmt.Errorf("baseline: query has a self-join")
+	}
+	type simpleAtom struct {
+		key  query.Var
+		vars query.VarSet
+	}
+	atoms := make([]simpleAtom, 0, q.Len())
+	for _, a := range q.Atoms {
+		if a.Rel.Mode != schema.ModeI || !a.Rel.SimpleKey() {
+			return KSPolynomial, fmt.Errorf("baseline: Koutris-Suciu fragment needs mode-i simple keys, got %s", a.Rel)
+		}
+		if a.HasConstants() {
+			return KSPolynomial, fmt.Errorf("baseline: Koutris-Suciu fragment has no constants, got %s", a)
+		}
+		atoms = append(atoms, simpleAtom{key: a.KeyArgs()[0].Var(), vars: a.Vars()})
+	}
+	// closure under the key dependencies of a subset of atoms (mask).
+	closure := func(start query.VarSet, skip int) query.VarSet {
+		out := start.Clone()
+		for changed := true; changed; {
+			changed = false
+			for i, a := range atoms {
+				if i == skip || !out.Has(a.key) {
+					continue
+				}
+				for v := range a.vars {
+					if !out.Has(v) {
+						out.Add(v)
+						changed = true
+					}
+				}
+			}
+		}
+		return out
+	}
+	// attacks(i, j): reachability from atom i to atom j over pairs of
+	// atoms sharing a variable outside closure(key(i)) without atom i's
+	// own dependency.
+	n := len(atoms)
+	attacks := func(i, j int) bool {
+		plus := closure(query.NewVarSet(atoms[i].key), i)
+		seen := make([]bool, n)
+		seen[i] = true
+		stack := []int{i}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if u == j && u != i {
+				return true
+			}
+			for v := 0; v < n; v++ {
+				if seen[v] {
+					continue
+				}
+				escape := false
+				for w := range atoms[u].vars.Intersect(atoms[v].vars) {
+					if !plus.Has(w) {
+						escape = true
+						break
+					}
+				}
+				if escape {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		return false
+	}
+	weak := func(i, j int) bool {
+		return closure(query.NewVarSet(atoms[i].key), -1).Has(atoms[j].key)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if attacks(i, j) && attacks(j, i) && (!weak(i, j) || !weak(j, i)) {
+				return KSCoNPComplete, nil
+			}
+		}
+	}
+	return KSPolynomial, nil
+}

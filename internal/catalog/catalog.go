@@ -1,0 +1,252 @@
+// Package catalog collects named self-join-free conjunctive queries from
+// the consistent-query-answering literature together with their published
+// (or derivable) complexity classifications. The catalog grounds the E3
+// experiment ("Table 1"): the library's trichotomy classifier must
+// reproduce every entry.
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"cqa/internal/attack"
+	"cqa/internal/query"
+)
+
+// Entry is one catalog query.
+type Entry struct {
+	Name   string
+	Query  string // textual syntax, parseable by query.Parse
+	Class  attack.Class
+	Source string // where the query (or its classification) comes from
+}
+
+// Entries returns the catalog in a stable order.
+func Entries() []Entry {
+	return []Entry{
+		// --- Queries from Koutris & Wijsen, PODS 2015 ---
+		{
+			Name:   "kw15-example2-figure1",
+			Query:  "R(x | y), S(y | z), T(z | x), U(x | u), V(x, u | v)",
+			Class:  attack.PTime,
+			Source: "KW15 Example 2 / Figure 1: cyclic attack graph, all attacks weak",
+		},
+		{
+			Name:   "kw15-example5",
+			Query:  "R(x | y), S(y | 'b')",
+			Class:  attack.FO,
+			Source: "KW15 Example 5: acyclic attack graph with explicit FO rewriting",
+		},
+		{
+			Name:   "kw15-example6",
+			Query:  "R(x | y), S1(y | z), S2(y | z), T#c(x, z | w), U(w | x)",
+			Class:  attack.PTime,
+			Source: "KW15 Examples 6/9: weak cycle R ~> U ~> R, unsaturated query",
+		},
+		{
+			Name:   "kw15-example7-figure2",
+			Query:  "R(x | y, v), S(y | x), V1#c(v | w), W(w | v), V2#c(w | y)",
+			Class:  attack.PTime,
+			Source: "KW15 Example 7 / Figure 2: R, S form an initial strong component; weak",
+		},
+		{
+			Name:   "kw15-example13",
+			Query:  "R1(x0 | y1), R2(x0 | y2), S#c(y1, y2 | x1), R3(x0 | y3), V(x1 | x0)",
+			Class:  attack.PTime,
+			Source: "KW15 Example 13: dissolution walkthrough, Markov edge x0 -> x1",
+		},
+		{
+			Name:   "kw15-example14",
+			Query:  "R(x0 | x1, y), S(x1 | x0, y)",
+			Class:  attack.PTime,
+			Source: "KW15 Example 14: cycle whose support check fails on y",
+		},
+		{
+			Name:   "kw15-example15",
+			Query:  "R(x0 | x1), S(x1 | x2, x0), V(x2 | x0)",
+			Class:  attack.PTime,
+			Source: "KW15 Example 15: shorter-Markov-cycle normalization",
+		},
+		{
+			Name:   "kw15-example17",
+			Query:  "R(x0 | y1, y2), V(x1 | y2), S1#c(y1, y2 | x1), S2#c(y2 | x0)",
+			Class:  attack.PTime,
+			Source: "KW15 Example 17: support check with shared y2",
+		},
+		{
+			Name:   "kw15-example18",
+			Query:  "R(x0 | x1, y), S(x1 | x0)",
+			Class:  attack.PTime,
+			Source: "KW15 Example 18: multiple T-facts per cycle",
+		},
+		{
+			Name:   "kw15-q0",
+			Query:  "R0(x | y), S0(y | x)",
+			Class:  attack.PTime,
+			Source: "KW15 Lemma 7 / Wijsen IPL 2010: the canonical L-hard, P\\FO query",
+		},
+
+		// --- Queries from earlier dichotomy papers ---
+		{
+			Name:   "fm05-rewritable-chain",
+			Query:  "R(x | y), S(y | z)",
+			Class:  attack.FO,
+			Source: "Fuxman & Miller ICDT 2005: Cforest chain, FO-rewritable",
+		},
+		{
+			Name:   "fm05-nonkey-join",
+			Query:  "R(x | y), S(u | y)",
+			Class:  attack.CoNPComplete,
+			Source: "Fuxman & Miller ICDT 2005 / Kolaitis & Pema IPL 2012: non-key join",
+		},
+		{
+			Name:   "kp12-weak-two-cycle",
+			Query:  "R(x | y), S(y | x)",
+			Class:  attack.PTime,
+			Source: "Kolaitis & Pema IPL 2012: mutually weak attacks, in P, not FO",
+		},
+		{
+			Name:   "kp12-half-strong",
+			Query:  "R(x | y, z), S(z | y)",
+			Class:  attack.CoNPComplete,
+			Source: "two-atom query with a strong attack cycle (key(S) not determined... see test)",
+		},
+		{
+			Name:   "ks14-simple-key-path",
+			Query:  "R1(x1 | x2), R2(x2 | x3), R3(x3 | x4)",
+			Class:  attack.FO,
+			Source: "Koutris & Suciu ICDT 2014: simple-key path, tractable and FO",
+		},
+		{
+			Name:   "ks14-simple-key-cycle3",
+			Query:  "R1(x1 | x2), R2(x2 | x3), R3(x3 | x1)",
+			Class:  attack.PTime,
+			Source: "Koutris & Suciu ICDT 2014: simple-key cycle, tractable via dissolution",
+		},
+		{
+			Name:   "ks14-hard-triangle",
+			Query:  "R(x | y), S(y | z), T(x, z | w)",
+			Class:  attack.CoNPComplete,
+			Source: "triangle with composite-key apex: strong cycle (verified vs oracle)",
+		},
+
+		// --- Queries from Wijsen's attack-graph papers ---
+		{
+			Name:   "w10-star",
+			Query:  "R1(x | y1), R2(x | y2), R3(x | y3)",
+			Class:  attack.FO,
+			Source: "Wijsen PODS 2010: shared-key star, acyclic attack graph",
+		},
+		{
+			Name:   "w12-branching",
+			Query:  "R(x | y), S(y | z), T(y | w)",
+			Class:  attack.FO,
+			Source: "Wijsen TODS 2012: tree-shaped joins, FO-rewritable",
+		},
+		{
+			Name:   "w13-strong-cycle",
+			Query:  "R(x | y), S(y | x), T(u | y)",
+			Class:  attack.CoNPComplete,
+			Source: "Wijsen PODS 2013 style: weak 2-cycle broken by a non-key joining atom",
+		},
+
+		// --- Structural families ---
+		{
+			Name:   "family-path4",
+			Query:  "R1(x1 | x2), R2(x2 | x3), R3(x3 | x4), R4(x4 | x5)",
+			Class:  attack.FO,
+			Source: "path family, length 4",
+		},
+		{
+			Name:   "family-cycle4",
+			Query:  "R1(x1 | x2), R2(x2 | x3), R3(x3 | x4), R4(x4 | x1)",
+			Class:  attack.PTime,
+			Source: "cycle family, length 4",
+		},
+		{
+			Name:   "family-constant-anchor",
+			Query:  "R('c' | y), S(y | z)",
+			Class:  attack.FO,
+			Source: "constant key anchor",
+		},
+		{
+			Name:   "family-composite-weak",
+			Query:  "R(x, y | z), S(y, z | x)",
+			Class:  attack.PTime,
+			Source: "composite-key weak 2-cycle (exercises key packing)",
+		},
+		{
+			Name:   "family-consistent-helper",
+			Query:  "R(x | y), S#c(y | z), T(z | x)",
+			Class:  attack.PTime,
+			Source: "weak cycle through a consistent relation",
+		},
+	}
+}
+
+// ByName returns the entry with the given name.
+func ByName(name string) (Entry, bool) {
+	for _, e := range Entries() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// MustQuery parses the entry's query.
+func (e Entry) MustQuery() query.Query {
+	return query.MustParse(e.Query)
+}
+
+// FamilyEntries returns programmatically generated entries whose classes
+// are known by construction: key-join paths and stars are FO, key-join
+// cycles are P\FO for every length at least 2.
+func FamilyEntries() []Entry {
+	var out []Entry
+	for n := 2; n <= 6; n++ {
+		out = append(out, Entry{
+			Name:   fmt.Sprintf("gen-path-%d", n),
+			Query:  pathQuery(n),
+			Class:  attack.FO,
+			Source: "key-join path family (acyclic attack graph for every length)",
+		})
+		out = append(out, Entry{
+			Name:   fmt.Sprintf("gen-cycle-%d", n),
+			Query:  cycleQuery(n),
+			Class:  attack.PTime,
+			Source: "key-join cycle family (weak attack cycle for every length)",
+		})
+		out = append(out, Entry{
+			Name:   fmt.Sprintf("gen-star-%d", n),
+			Query:  starQuery(n),
+			Class:  attack.FO,
+			Source: "shared-key star family",
+		})
+	}
+	return out
+}
+
+func pathQuery(n int) string {
+	parts := make([]string, n)
+	for i := 0; i < n; i++ {
+		parts[i] = fmt.Sprintf("R%d(x%d | x%d)", i+1, i+1, i+2)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func cycleQuery(n int) string {
+	parts := make([]string, n)
+	for i := 0; i < n; i++ {
+		parts[i] = fmt.Sprintf("R%d(x%d | x%d)", i+1, i+1, (i+1)%n+1)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func starQuery(n int) string {
+	parts := make([]string, n)
+	for i := 0; i < n; i++ {
+		parts[i] = fmt.Sprintf("R%d(x | y%d)", i+1, i+1)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,69 @@
+package catalog
+
+import (
+	"testing"
+
+	"cqa/internal/attack"
+	"cqa/internal/query"
+)
+
+// TestCatalogClassification: the trichotomy classifier reproduces every
+// published classification in the catalog (experiment E3).
+func TestCatalogClassification(t *testing.T) {
+	entries := Entries()
+	if len(entries) < 20 {
+		t.Fatalf("catalog has only %d entries", len(entries))
+	}
+	names := make(map[string]bool)
+	for _, e := range entries {
+		if names[e.Name] {
+			t.Errorf("duplicate catalog name %s", e.Name)
+		}
+		names[e.Name] = true
+		q, err := query.Parse(e.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		got, _, err := attack.Classify(q)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if got != e.Class {
+			t.Errorf("%s: classified %v, catalog says %v (%s)", e.Name, got, e.Class, e.Source)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	e, ok := ByName("kw15-q0")
+	if !ok || e.Class != attack.PTime {
+		t.Fatalf("ByName(kw15-q0) = %+v, %v", e, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName should miss")
+	}
+	if e.MustQuery().Len() != 2 {
+		t.Fatal("q0 should have two atoms")
+	}
+}
+
+// TestFamilyEntries: the generated families classify as constructed.
+func TestFamilyEntries(t *testing.T) {
+	entries := FamilyEntries()
+	if len(entries) != 15 {
+		t.Fatalf("have %d family entries, want 15", len(entries))
+	}
+	for _, e := range entries {
+		q, err := query.Parse(e.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		got, _, err := attack.Classify(q)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if got != e.Class {
+			t.Errorf("%s: classified %v, want %v (%s)", e.Name, got, e.Class, e.Query)
+		}
+	}
+}

@@ -1,0 +1,336 @@
+// Package cli implements the command-line tools as testable functions:
+// each Run* takes argument slices and writers and returns a process exit
+// code. The cmd/ binaries are thin wrappers around these.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"cqa/internal/attack"
+	"cqa/internal/baseline"
+	"cqa/internal/catalog"
+	"cqa/internal/core"
+	"cqa/internal/counting"
+	"cqa/internal/db"
+	"cqa/internal/experiments"
+	"cqa/internal/markov"
+	"cqa/internal/ptime"
+	"cqa/internal/query"
+	"cqa/internal/rewrite"
+)
+
+// RunClassify implements cqa-classify.
+func RunClassify(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cqa-classify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dot := fs.Bool("dot", false, "print the attack graph in Graphviz DOT format")
+	mkv := fs.Bool("markov", false, "print the Markov graph (simple-key queries)")
+	plus := fs.Bool("plus", false, "print F^{+,q} for every atom")
+	cat := fs.Bool("catalog", false, "classify every catalog query and exit")
+	explain := fs.Bool("explain", false, "print the justification")
+	asJSON := fs.Bool("json", false, "emit the classification as JSON")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: cqa-classify [flags] 'QUERY'\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *cat {
+		for _, e := range catalog.Entries() {
+			cls, err := core.ClassifyString(e.Query)
+			if err != nil {
+				fmt.Fprintf(stderr, "%s: %v\n", e.Name, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "%-28s %-14s %s\n", e.Name, cls.Class, e.Query)
+		}
+		return 0
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	q, err := query.Parse(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	cls, err := core.Classify(q)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if *asJSON {
+		return emitClassificationJSON(cls, stdout, stderr)
+	}
+	fmt.Fprintf(stdout, "query:          %s\n", q)
+	fmt.Fprintf(stdout, "classification: CERTAINTY(q) is %s\n", describeClass(cls.Class))
+	fmt.Fprintf(stdout, "\nattack graph:\n%s\n", indent(cls.Graph.String()))
+	if *explain {
+		fmt.Fprintf(stdout, "\n%s\n", cls.Graph.Explain().Text)
+	}
+	if *plus {
+		fmt.Fprintln(stdout, "\nF^{+,q} per atom:")
+		for i, a := range q.Atoms {
+			fmt.Fprintf(stdout, "  %s: %s\n", a.Rel.Name, cls.Graph.Plus[i])
+		}
+	}
+	if *dot {
+		fmt.Fprintf(stdout, "\n%s", cls.Graph.DOT())
+	}
+	if *mkv {
+		m, err := markov.Build(q)
+		if err != nil {
+			fmt.Fprintf(stderr, "markov: %v\n", err)
+		} else {
+			fmt.Fprintf(stdout, "\nMarkov graph:\n%s\n", indent(m.String()))
+			if c := m.PremierCycle(cls.Graph); c != nil {
+				fmt.Fprintf(stdout, "premier Markov cycle: %v\n", c)
+			}
+		}
+	}
+	if baseline.InCforest(q) {
+		fmt.Fprintln(stdout, "\nFuxman-Miller: q is in Cforest (FO-rewritable)")
+	}
+	if kp, err := baseline.KPClassify(q); err == nil {
+		fmt.Fprintf(stdout, "Kolaitis-Pema (two atoms): %s\n", kp)
+	}
+	if ks, err := baseline.KSClassify(q); err == nil {
+		fmt.Fprintf(stdout, "Koutris-Suciu (simple keys): %s\n", ks)
+	}
+	return 0
+}
+
+// RunCertain implements cqa-certain. stdin supplies the database when
+// the -db argument is "-".
+func RunCertain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cqa-certain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	qs := fs.String("q", "", "the Boolean conjunctive query")
+	dbPath := fs.String("db", "", "path to the facts file ('-' for stdin)")
+	engineName := fs.String("engine", "auto", "engine: auto, fo, ptime, conp, naive")
+	showRepair := fs.Bool("repair", false, "print a falsifying repair when not certain")
+	answers := fs.String("answers", "", "comma-separated free variables: report certain answers")
+	possible := fs.Bool("possible", false, "also report POSSIBILITY(q) (true in some repair)")
+	count := fs.Bool("count", false, "also report the exact number of satisfying repairs")
+	fraction := fs.Int("fraction", 0, "estimate the satisfying-repair fraction with N samples")
+	showTrace := fs.Bool("trace", false, "print the Theorem 4 pipeline trace (ptime engine)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *qs == "" || *dbPath == "" {
+		fs.Usage()
+		return 2
+	}
+	q, err := query.Parse(*qs)
+	if err != nil {
+		fmt.Fprintln(stderr, "cqa-certain:", err)
+		return 2
+	}
+	var text []byte
+	if *dbPath == "-" {
+		text, err = io.ReadAll(stdin)
+	} else {
+		text, err = os.ReadFile(*dbPath)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "cqa-certain:", err)
+		return 2
+	}
+	d, err := db.ParseFacts(q.Schema(), string(text))
+	if err != nil {
+		fmt.Fprintln(stderr, "cqa-certain:", err)
+		return 2
+	}
+	if !d.ConsistentFor() {
+		fmt.Fprintln(stderr, "cqa-certain: a mode-c relation of the input violates its primary key")
+		return 2
+	}
+	engine, err := core.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(stderr, "cqa-certain:", err)
+		return 2
+	}
+	opts := core.Options{Engine: engine}
+
+	if *answers != "" {
+		var free []query.Var
+		for _, name := range strings.Split(*answers, ",") {
+			name = strings.TrimSpace(name)
+			if name != "" {
+				free = append(free, query.Var(name))
+			}
+		}
+		vals, err := core.CertainAnswers(q, free, d, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "cqa-certain:", err)
+			return 2
+		}
+		for _, v := range vals {
+			fmt.Fprintln(stdout, v)
+		}
+		fmt.Fprintf(stderr, "%d certain answer(s)\n", len(vals))
+		return 0
+	}
+
+	if *showTrace {
+		ok, _, trace, err := ptime.CertainTraced(q, d, true)
+		if err != nil {
+			fmt.Fprintln(stderr, "cqa-certain: trace:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, "pipeline trace (Theorem 4):")
+		for _, line := range trace {
+			fmt.Fprintf(stdout, "  %s\n", line)
+		}
+		fmt.Fprintf(stdout, "certain: %v\n", ok)
+		if !ok {
+			return 1
+		}
+		return 0
+	}
+
+	res, err := core.Certain(q, d, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "cqa-certain:", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "class:   %s\n", res.Class)
+	fmt.Fprintf(stdout, "engine:  %s\n", res.Engine)
+	fmt.Fprintf(stdout, "certain: %v\n", res.Certain)
+	if *possible {
+		fmt.Fprintf(stdout, "possible: %v\n", core.Possible(q, d))
+	}
+	if *count {
+		cres, err := counting.SatisfyingRepairs(q, d)
+		if err != nil {
+			fmt.Fprintln(stderr, "cqa-certain: count:", err)
+		} else {
+			fmt.Fprintf(stdout, "satisfying repairs: %v of %v (%.4f)\n",
+				cres.Satisfying, cres.Total, cres.Fraction())
+		}
+	}
+	if *fraction > 0 {
+		est, err := core.CertainFraction(q, d, *fraction, rand.New(rand.NewSource(1)))
+		if err != nil {
+			fmt.Fprintln(stderr, "cqa-certain: fraction:", err)
+		} else {
+			fmt.Fprintf(stdout, "estimated satisfying fraction: %.4f (%d samples)\n", est, *fraction)
+		}
+	}
+	if !res.Certain && *showRepair {
+		repair, found, err := core.FalsifyingRepair(q, d)
+		if err != nil {
+			fmt.Fprintln(stderr, "cqa-certain:", err)
+			return 2
+		}
+		if found {
+			fmt.Fprintln(stdout, "falsifying repair:")
+			for _, f := range repair {
+				fmt.Fprintf(stdout, "  %s\n", f)
+			}
+		}
+	}
+	if !res.Certain {
+		return 1
+	}
+	return 0
+}
+
+// RunRewrite implements cqa-rewrite.
+func RunRewrite(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cqa-rewrite", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cat := fs.Bool("catalog", false, "print rewritings for every FO catalog query")
+	sqlOut := fs.Bool("sql", false, "emit the rewriting as SQL instead of logic notation")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	emit := func(q query.Query) (string, error) {
+		if *sqlOut {
+			return rewrite.SQL(q)
+		}
+		f, err := rewrite.RewritingPretty(q)
+		if err != nil {
+			return "", err
+		}
+		return rewrite.Format(f), nil
+	}
+	if *cat {
+		for _, e := range catalog.Entries() {
+			q := e.MustQuery()
+			s, err := emit(q)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(stdout, "%s\n  q   = %s\n  phi = %s\n\n", e.Name, q, s)
+		}
+		return 0
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: cqa-rewrite [-sql] 'QUERY'")
+		return 2
+	}
+	q, err := query.Parse(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	s, err := emit(q)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintln(stdout, s)
+	return 0
+}
+
+// RunBench implements cqa-bench.
+func RunBench(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cqa-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment id (E1..E12) or 'all'")
+	quick := fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	list := fs.Bool("list", false, "list experiments and exit")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Fprintf(stdout, "%-5s %s\n", id, experiments.Describe(id))
+		}
+		return 0
+	}
+	r := &experiments.Runner{Out: stdout, Quick: *quick, Seed: *seed}
+	if err := r.Run(*exp); err != nil {
+		fmt.Fprintln(stderr, "cqa-bench:", err)
+		return 1
+	}
+	return 0
+}
+
+func describeClass(c attack.Class) string {
+	switch c {
+	case attack.FO:
+		return "in FO (acyclic attack graph; a consistent first-order rewriting exists)"
+	case attack.PTime:
+		return "in P but L-hard, not in FO (weak attack cycles only)"
+	default:
+		return "coNP-complete (the attack graph has a strong cycle)"
+	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,54 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cqa/internal/core"
+)
+
+// classificationJSON is the machine-readable form of a classification.
+type classificationJSON struct {
+	Query          string       `json:"query"`
+	Class          string       `json:"class"`
+	HasCycle       bool         `json:"hasCycle"`
+	HasStrongCycle bool         `json:"hasStrongCycle"`
+	Attacks        []attackJSON `json:"attacks"`
+	Explanation    string       `json:"explanation"`
+}
+
+type attackJSON struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Weak bool   `json:"weak"`
+}
+
+func emitClassificationJSON(cls core.Classification, stdout, stderr io.Writer) int {
+	out := classificationJSON{
+		Query:          cls.Query.String(),
+		Class:          cls.Class.String(),
+		HasCycle:       cls.HasCycle,
+		HasStrongCycle: cls.HasStrongCycle,
+		Explanation:    cls.Graph.Explain().Text,
+	}
+	n := cls.Query.Len()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if cls.Graph.Edge[i][j] {
+				out.Attacks = append(out.Attacks, attackJSON{
+					From: cls.Query.Atoms[i].Rel.Name,
+					To:   cls.Query.Atoms[j].Rel.Name,
+					Weak: cls.Graph.WeakEdge[i][j],
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(stderr, "cqa-classify:", err)
+		return 1
+	}
+	return 0
+}

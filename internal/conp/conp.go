@@ -1,0 +1,298 @@
+// Package conp implements an exact solver for CERTAINTY(q) based on a
+// search for a falsifying repair. Certainty fails iff one can pick one
+// fact per block such that no embedding of q survives; that is a
+// multi-valued constraint-satisfaction problem with one variable per block
+// (domain: the facts of the block) and one "not all chosen" constraint per
+// embedding of q into db.
+//
+// The solver runs DPLL-style backtracking with violation pruning and a
+// most-constrained-block ordering. It is exponential in the worst case —
+// necessarily so for the coNP-complete queries of Theorem 3 (unless
+// P = NP) — but it is exact for every query and doubles as a
+// cross-checking engine for the polynomial-time cases.
+package conp
+
+import (
+	"cqa/internal/db"
+	"cqa/internal/match"
+	"cqa/internal/query"
+)
+
+// Stats reports search effort.
+type Stats struct {
+	Blocks    int // decision variables after purification
+	Matches   int // constraints
+	Decisions int // assignments explored
+	Backtrack int // failed subtrees
+}
+
+// Certain reports whether every repair of d satisfies q. The returned
+// Stats describe the search.
+func Certain(q query.Query, d *db.DB) (bool, Stats) {
+	_, found, stats := FalsifyingRepair(q, d)
+	return !found, stats
+}
+
+// CertainNoPurify is Certain with Lemma 1 purification disabled; the
+// search then runs over every block of the input. Exists for the E9
+// ablation experiment — results are identical, only effort differs.
+func CertainNoPurify(q query.Query, d *db.DB) (bool, Stats) {
+	var stats Stats
+	if q.Empty() {
+		return true, stats
+	}
+	pd := d.Filter(func(f db.Fact) bool { return q.HasRel(f.Rel.Name) })
+	matches := match.AllMatches(q, pd)
+	stats.Matches = len(matches)
+	if len(matches) == 0 {
+		return false, stats
+	}
+	s := newSearch(q, pd, matches)
+	stats.Blocks = len(s.blocks)
+	return !s.solve(&stats), stats
+}
+
+// FalsifyingRepair searches for a repair of d that falsifies q. The
+// boolean result reports whether one exists; when it does, the returned
+// facts form a complete repair of d (one fact per block) that does not
+// satisfy q. Blocks removed by purification are completed with the
+// irrelevant witness facts from the purification trace, in reverse
+// removal order, which preserves falsification.
+func FalsifyingRepair(q query.Query, d *db.DB) ([]db.Fact, bool, Stats) {
+	var stats Stats
+	if q.Empty() {
+		return nil, false, stats // the empty query is true in every repair
+	}
+	pd, trace := match.PurifyTrace(q, d)
+	matches := match.AllMatches(q, pd)
+	stats.Matches = len(matches)
+
+	var repair []db.Fact
+	found := false
+	if len(matches) == 0 {
+		// No embedding inside the purified database: every repair of it
+		// falsifies q. Take the first fact of each remaining block.
+		found = true
+		for _, b := range pd.Blocks() {
+			repair = append(repair, b.Facts[0])
+		}
+	} else {
+		s := newSearch(q, pd, matches)
+		stats.Blocks = len(s.blocks)
+		found = s.solve(&stats)
+		if found {
+			repair = s.repair()
+		}
+	}
+	if !found {
+		return nil, false, stats
+	}
+	// Complete the repair across purified-away blocks, newest removal
+	// first: each witness was irrelevant with respect to everything added
+	// so far, so it cannot close an embedding.
+	for i := len(trace) - 1; i >= 0; i-- {
+		repair = append(repair, trace[i].Witness)
+	}
+	return repair, true, stats
+}
+
+type search struct {
+	facts []db.Fact // all facts of the purified db
+	// blocks[b] lists fact indices of block b.
+	blocks [][]int
+	// blockOf[f] is the block index of fact f.
+	blockOf []int
+	// constraints[c] lists the fact indices of embedding c; each
+	// constraint forbids choosing all of its facts simultaneously.
+	constraints [][]int
+	// inConstraints[f] lists constraint indices containing fact f.
+	inConstraints [][]int
+	// forbidden[f] marks facts excluded from the repair under
+	// construction (their block is committed to some other fact).
+	forbidden []bool
+	// forbCount[b] counts forbidden facts of block b; it must stay
+	// strictly below len(blocks[b]).
+	forbCount []int
+	// dead[c] counts forbidden facts of constraint c; dead > 0 means the
+	// embedding is blocked.
+	dead []int
+	// alive counts constraints with dead == 0 (not yet blocked).
+	alive int
+}
+
+func newSearch(q query.Query, pd *db.DB, matches []query.Valuation) *search {
+	s := &search{}
+	factIdx := make(map[string]int)
+	for _, f := range pd.Facts() {
+		factIdx[f.ID()] = len(s.facts)
+		s.facts = append(s.facts, f)
+	}
+	blockIdx := make(map[string]int)
+	s.blockOf = make([]int, len(s.facts))
+	for i, f := range s.facts {
+		bid := f.BlockID()
+		b, ok := blockIdx[bid]
+		if !ok {
+			b = len(s.blocks)
+			blockIdx[bid] = b
+			s.blocks = append(s.blocks, nil)
+		}
+		s.blocks[b] = append(s.blocks[b], i)
+		s.blockOf[i] = b
+	}
+	s.inConstraints = make([][]int, len(s.facts))
+	for _, v := range matches {
+		ground, err := db.GroundQuery(q, v)
+		if err != nil {
+			continue
+		}
+		if !db.ConsistentSet(ground) {
+			// An embedding that is internally inconsistent can never be
+			// fully contained in a repair; drop the constraint.
+			continue
+		}
+		seen := make(map[int]bool, len(ground))
+		var c []int
+		for _, f := range ground {
+			fi, ok := factIdx[f.ID()]
+			if !ok {
+				// Embedding uses a purified-away fact; cannot happen since
+				// matches were computed on the purified db.
+				continue
+			}
+			if !seen[fi] {
+				seen[fi] = true
+				c = append(c, fi)
+			}
+		}
+		ci := len(s.constraints)
+		s.constraints = append(s.constraints, c)
+		for _, fi := range c {
+			s.inConstraints[fi] = append(s.inConstraints[fi], ci)
+		}
+	}
+	s.forbidden = make([]bool, len(s.facts))
+	s.forbCount = make([]int, len(s.blocks))
+	s.dead = make([]int, len(s.constraints))
+	s.alive = len(s.constraints)
+	return s
+}
+
+// forbid excludes fact fi; the caller guarantees fi is not yet forbidden
+// and that its block retains at least one candidate.
+func (s *search) forbid(fi int) {
+	s.forbidden[fi] = true
+	s.forbCount[s.blockOf[fi]]++
+	for _, ci := range s.inConstraints[fi] {
+		if s.dead[ci] == 0 {
+			s.alive--
+		}
+		s.dead[ci]++
+	}
+}
+
+func (s *search) unforbid(fi int) {
+	s.forbidden[fi] = false
+	s.forbCount[s.blockOf[fi]]--
+	for _, ci := range s.inConstraints[fi] {
+		s.dead[ci]--
+		if s.dead[ci] == 0 {
+			s.alive++
+		}
+	}
+}
+
+// canForbid reports whether excluding fi keeps its block viable.
+func (s *search) canForbid(fi int) bool {
+	return !s.forbidden[fi] && s.forbCount[s.blockOf[fi]] < len(s.blocks[s.blockOf[fi]])-1
+}
+
+// chooseFact commits fi's block to fi by excluding every sibling; it
+// returns the facts newly forbidden (for undo) and whether the commitment
+// is possible (fi itself must not be forbidden).
+func (s *search) chooseFact(fi int, trail []int) ([]int, bool) {
+	if s.forbidden[fi] {
+		return trail, false
+	}
+	for _, g := range s.blocks[s.blockOf[fi]] {
+		if g == fi || s.forbidden[g] {
+			continue
+		}
+		s.forbid(g)
+		trail = append(trail, g)
+	}
+	return trail, true
+}
+
+func (s *search) solve(stats *Stats) bool {
+	return s.solveRec(stats)
+}
+
+// repair returns one fact per block, avoiding forbidden facts; valid only
+// after solve returned true.
+func (s *search) repair() []db.Fact {
+	out := make([]db.Fact, 0, len(s.blocks))
+	for b, facts := range s.blocks {
+		picked := -1
+		for _, fi := range facts {
+			if !s.forbidden[fi] {
+				picked = fi
+				break
+			}
+		}
+		if picked == -1 {
+			picked = facts[0] // unreachable: forbCount < len is invariant
+		}
+		_ = b
+		out = append(out, s.facts[picked])
+	}
+	return out
+}
+
+// solveRec is an exclusion-based DPLL. A falsifying repair exists iff
+// every embedding loses at least one fact while every block keeps at
+// least one. While some constraint is alive, pick the one with the
+// fewest facts and split its satisfaction into DISJOINT branches:
+// branch i commits facts 1..i-1 to their blocks (they stay chosen) and
+// excludes fact i. Any falsifier blocks the constraint at some first
+// position, so exactly one branch covers it.
+func (s *search) solveRec(stats *Stats) bool {
+	if s.alive == 0 {
+		return true
+	}
+	best := -1
+	for ci := range s.constraints {
+		if s.dead[ci] != 0 {
+			continue
+		}
+		if best == -1 || len(s.constraints[ci]) < len(s.constraints[best]) {
+			best = ci
+		}
+	}
+	c := s.constraints[best]
+	var trail []int
+	ok := true
+	for i, fi := range c {
+		if ok && s.canForbid(fi) {
+			stats.Decisions++
+			s.forbid(fi)
+			if s.solveRec(stats) {
+				return true
+			}
+			s.unforbid(fi)
+		}
+		if i == len(c)-1 {
+			break
+		}
+		// Commit fi for the remaining branches.
+		trail, ok = s.chooseFact(fi, trail)
+		if !ok {
+			break
+		}
+	}
+	for k := len(trail) - 1; k >= 0; k-- {
+		s.unforbid(trail[k])
+	}
+	stats.Backtrack++
+	return false
+}

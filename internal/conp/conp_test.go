@@ -1,0 +1,155 @@
+package conp
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/match"
+	"cqa/internal/naive"
+	"cqa/internal/query"
+	"cqa/internal/workload"
+)
+
+func factsDB(t *testing.T, lines string) *db.DB {
+	t.Helper()
+	d, err := db.ParseFacts(nil, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCertainBasic(t *testing.T) {
+	q := query.MustParse("R(x | y)")
+	d := factsDB(t, `
+		R(a | b)
+		R(a | c)
+	`)
+	// Every repair contains exactly one R(a | _) fact, so q is certain.
+	got, _ := Certain(q, d)
+	if !got {
+		t.Errorf("q should be certain on %s", d)
+	}
+}
+
+func TestCertainFalsifiable(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	d := factsDB(t, `
+		R(a | b)
+		R(a | dead)
+		S(b | c)
+	`)
+	// The repair choosing R(a | dead) falsifies q.
+	got, _ := Certain(q, d)
+	if got {
+		t.Errorf("q should not be certain on %s", d)
+	}
+	repair, found, _ := FalsifyingRepair(q, d)
+	if !found {
+		t.Fatal("expected a falsifying repair")
+	}
+	r := db.FromFacts(repair...)
+	if match.Satisfies(q, r) {
+		t.Errorf("returned repair %v satisfies q", repair)
+	}
+	// The repair must be a complete, consistent selection: one fact per
+	// block of d.
+	if !db.ConsistentSet(repair) {
+		t.Errorf("falsifying repair is inconsistent: %v", repair)
+	}
+	if len(repair) != d.NumBlocks() {
+		t.Errorf("repair covers %d blocks, db has %d", len(repair), d.NumBlocks())
+	}
+}
+
+func TestEmptyQueryAndEmptyDB(t *testing.T) {
+	empty := query.MustParse("")
+	d := factsDB(t, "R(a | b)")
+	if got, _ := Certain(empty, d); !got {
+		t.Errorf("empty query must be certain")
+	}
+	q := query.MustParse("R(x | y)")
+	if got, _ := Certain(q, db.New()); got {
+		t.Errorf("non-empty query on empty db must not be certain")
+	}
+}
+
+// TestNonKeyJoinHardQuery pins the classic coNP-complete query down on a
+// crafted instance where certainty fails only through a global choice.
+func TestNonKeyJoinHardQuery(t *testing.T) {
+	q := workload.NonKeyJoinQuery() // R(x | y), S(u | y)
+	d := factsDB(t, `
+		R(x1 | a)
+		R(x1 | b)
+		S(u1 | a)
+		S(u2 | b)
+	`)
+	// Repair {R(x1,a), S(u1,a), S(u2,b)}: satisfied via y=a.
+	// Repair {R(x1,b), ...}: satisfied via y=b. So certain.
+	if got, _ := Certain(q, d); !got {
+		t.Errorf("expected certain")
+	}
+	d.Add(db.Fact{Rel: d.Facts()[0].Rel, Args: []query.Const{"x1", "c"}})
+	// Now the repair choosing R(x1, c) has no matching S-fact.
+	if got, _ := Certain(q, d); got {
+		t.Errorf("expected not certain after adding R(x1 | c)")
+	}
+}
+
+// TestDifferentialVsNaive cross-checks the DPLL engine against the
+// brute-force oracle on random queries and databases.
+func TestDifferentialVsNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 400; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 1 + rng.Intn(3)
+		q := workload.RandomQuery(rng, p)
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		if d.NumRepairs() > 1<<14 {
+			continue
+		}
+		want, err := naive.Certain(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := Certain(q, d)
+		if got != want {
+			t.Fatalf("conp=%v naive=%v\nq = %s\ndb:\n%s", got, want, q, d)
+		}
+	}
+}
+
+// TestDifferentialHardInstances cross-checks on the SAT-gadget generator.
+func TestDifferentialHardInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	q := workload.NonKeyJoinQuery()
+	for trial := 0; trial < 100; trial++ {
+		d := workload.HardInstance(rng, 1+rng.Intn(4), 1+rng.Intn(4), 2)
+		if d.NumRepairs() > 1<<14 {
+			continue
+		}
+		want, err := naive.Certain(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := Certain(q, d)
+		if got != want {
+			t.Fatalf("conp=%v naive=%v on hard instance\n%s", got, want, d)
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	q := workload.NonKeyJoinQuery()
+	rng := rand.New(rand.NewSource(5))
+	d := workload.HardInstance(rng, 4, 4, 2)
+	_, stats := Certain(q, d)
+	if stats.Matches == 0 && d.Len() > 0 {
+		// Some instances may purify to nothing; accept either, but the
+		// search must at least have counted blocks or matches coherently.
+		if stats.Blocks != 0 {
+			t.Errorf("blocks without matches: %+v", stats)
+		}
+	}
+}

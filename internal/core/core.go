@@ -1,0 +1,237 @@
+// Package core is the public facade of the library: classification of
+// CERTAINTY(q) per the trichotomy of Koutris & Wijsen (PODS 2015,
+// Theorem 1) and certain query answering with automatic engine selection.
+//
+//	cls, _ := core.Classify(q)        // FO, P\FO, or coNP-complete
+//	res, _ := core.Certain(q, db, core.Options{})
+//
+// Engines:
+//
+//   - EngineFO: the Lemma 9/10 recursion; polynomial, only for acyclic
+//     attack graphs (the FO class).
+//   - EnginePTime: the Theorem 4 algorithm (simplification + Markov cycle
+//     dissolution); polynomial, for strong-cycle-free attack graphs.
+//   - EngineCoNP: DPLL search for a falsifying repair; exact for every
+//     query, exponential in the worst case.
+//   - EngineNaive: brute-force repair enumeration; test oracle.
+//
+// EngineAuto picks the cheapest engine that is sound for the query's
+// class.
+package core
+
+import (
+	"fmt"
+
+	"cqa/internal/attack"
+	"cqa/internal/conp"
+	"cqa/internal/db"
+	"cqa/internal/match"
+	"cqa/internal/naive"
+	"cqa/internal/ptime"
+	"cqa/internal/query"
+	"cqa/internal/rewrite"
+)
+
+// Class re-exports the trichotomy classes.
+type Class = attack.Class
+
+// The three complexity classes of Theorem 1.
+const (
+	FO           = attack.FO
+	PTime        = attack.PTime
+	CoNPComplete = attack.CoNPComplete
+)
+
+// Classification is the result of classifying a query.
+type Classification struct {
+	Query query.Query
+	Class Class
+	// Graph is the attack graph the classification is read from.
+	Graph *attack.Graph
+	// HasCycle / HasStrongCycle expose the two Lemma 3 decisions.
+	HasCycle       bool
+	HasStrongCycle bool
+}
+
+// Classify builds the attack graph of q and classifies CERTAINTY(q) as
+// FO, P\FO, or coNP-complete (Theorem 1). The query must be
+// self-join-free.
+func Classify(q query.Query) (Classification, error) {
+	g, err := attack.BuildGraph(q)
+	if err != nil {
+		return Classification{}, err
+	}
+	return Classification{
+		Query:          q,
+		Class:          g.Classify(),
+		Graph:          g,
+		HasCycle:       g.HasCycle(),
+		HasStrongCycle: g.HasStrongCycle(),
+	}, nil
+}
+
+// ClassifyString parses and classifies a query in the textual syntax.
+func ClassifyString(s string) (Classification, error) {
+	q, err := query.Parse(s)
+	if err != nil {
+		return Classification{}, err
+	}
+	return Classify(q)
+}
+
+// Engine selects the solving strategy.
+type Engine int
+
+const (
+	// EngineAuto picks by classification: FO -> EngineFO, P\FO ->
+	// EnginePTime, coNP-complete -> EngineCoNP.
+	EngineAuto Engine = iota
+	// EngineFO runs the first-order recursion (acyclic attack graphs only).
+	EngineFO
+	// EnginePTime runs the Theorem 4 polynomial algorithm (no strong cycle).
+	EnginePTime
+	// EngineCoNP runs the exact falsifying-repair search (any query).
+	EngineCoNP
+	// EngineNaive enumerates all repairs (small instances only).
+	EngineNaive
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineFO:
+		return "fo"
+	case EnginePTime:
+		return "ptime"
+	case EngineCoNP:
+		return "conp"
+	case EngineNaive:
+		return "naive"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine maps an engine name ("auto", "fo", "ptime", "conp",
+// "naive") to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "auto", "":
+		return EngineAuto, nil
+	case "fo":
+		return EngineFO, nil
+	case "ptime":
+		return EnginePTime, nil
+	case "conp":
+		return EngineCoNP, nil
+	case "naive":
+		return EngineNaive, nil
+	}
+	return EngineAuto, fmt.Errorf("core: unknown engine %q", s)
+}
+
+// Options configure Certain.
+type Options struct {
+	// Engine forces a specific engine; EngineAuto selects by class.
+	Engine Engine
+}
+
+// Result reports a certain-answer decision.
+type Result struct {
+	Certain bool
+	Class   Class
+	Engine  Engine // engine that produced the answer
+}
+
+// Certain decides whether every repair of d satisfies q.
+func Certain(q query.Query, d *db.DB, opts Options) (Result, error) {
+	cls, err := Classify(q)
+	if err != nil {
+		return Result{}, err
+	}
+	engine := opts.Engine
+	if engine == EngineAuto {
+		switch cls.Class {
+		case FO:
+			engine = EngineFO
+		case PTime:
+			engine = EnginePTime
+		default:
+			engine = EngineCoNP
+		}
+	}
+	res := Result{Class: cls.Class, Engine: engine}
+	switch engine {
+	case EngineFO:
+		res.Certain, err = rewrite.Certain(q, d)
+	case EnginePTime:
+		res.Certain, _, err = ptime.Certain(q, d)
+	case EngineCoNP:
+		res.Certain, _ = conp.Certain(q, d)
+	case EngineNaive:
+		res.Certain, err = naive.Certain(q, d)
+	default:
+		err = fmt.Errorf("core: unknown engine %v", engine)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// FalsifyingRepair returns a repair of d that falsifies q, when one
+// exists (found = false means q is certain).
+func FalsifyingRepair(q query.Query, d *db.DB) (repair []db.Fact, found bool, err error) {
+	if !q.SelfJoinFree() {
+		return nil, false, fmt.Errorf("core: %s has a self-join", q)
+	}
+	r, ok, _ := conp.FalsifyingRepair(q, d)
+	return r, ok, nil
+}
+
+// Rewriting returns the consistent first-order rewriting of CERTAINTY(q)
+// for FO-classified queries (Theorem 2 / Lemma 10).
+func Rewriting(q query.Query) (rewrite.Formula, error) {
+	return rewrite.Rewriting(q)
+}
+
+// CertainAnswers lifts certainty to non-Boolean queries, as the paper
+// notes is possible without fundamental changes: for a query q with
+// designated free variables, it returns every binding of the free
+// variables (drawn from embeddings of q into d) whose instantiated
+// Boolean query is certain. Bindings are returned in deterministic order.
+func CertainAnswers(q query.Query, free []query.Var, d *db.DB, opts Options) ([]query.Valuation, error) {
+	vars := q.Vars()
+	for _, v := range free {
+		if !vars.Has(v) {
+			return nil, fmt.Errorf("core: free variable %s does not occur in %s", v, q)
+		}
+	}
+	// Candidate answers: projections of embeddings into d. Any certain
+	// answer must be one of these (the instantiated query must hold in
+	// the repair d' ⊆ d... every repair embeds it into d).
+	freeSet := query.NewVarSet(free...)
+	seen := make(map[string]query.Valuation)
+	var order []string
+	for _, m := range match.AllMatches(q, d) {
+		proj := m.Restrict(freeSet)
+		k := proj.Key()
+		if _, ok := seen[k]; !ok {
+			seen[k] = proj
+			order = append(order, k)
+		}
+	}
+	var out []query.Valuation
+	for _, k := range order {
+		proj := seen[k]
+		res, err := Certain(q.Substitute(proj), d, opts)
+		if err != nil {
+			return nil, err
+		}
+		if res.Certain {
+			out = append(out, proj)
+		}
+	}
+	return out, nil
+}

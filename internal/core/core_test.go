@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/match"
+	"cqa/internal/naive"
+	"cqa/internal/query"
+	"cqa/internal/workload"
+)
+
+func factsDB(t *testing.T, q query.Query, lines string) *db.DB {
+	t.Helper()
+	d, err := db.ParseFacts(q.Schema(), lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestClassifyString(t *testing.T) {
+	cases := []struct {
+		q    string
+		want Class
+	}{
+		{"R(x | y), S(y | z)", FO},
+		{"R0(x | y), S0(y | x)", PTime},
+		{"R(x | y), S(u | y)", CoNPComplete},
+	}
+	for _, c := range cases {
+		got, err := ClassifyString(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Class != c.want {
+			t.Errorf("ClassifyString(%q) = %v, want %v", c.q, got.Class, c.want)
+		}
+	}
+	if _, err := ClassifyString("R(x | y), R(y | z)"); err == nil {
+		t.Error("self-join should be rejected")
+	}
+	if _, err := ClassifyString("R(("); err == nil {
+		t.Error("syntax error should be reported")
+	}
+}
+
+func TestCertainAutoDispatch(t *testing.T) {
+	cases := []struct {
+		q      string
+		engine Engine
+	}{
+		{"R(x | y), S(y | z)", EngineFO},
+		{"R0(x | y), S0(y | x)", EnginePTime},
+		{"R(x | y), S(u | y)", EngineCoNP},
+	}
+	for _, c := range cases {
+		q := query.MustParse(c.q)
+		d := workload.RandomDB(rand.New(rand.NewSource(1)), q, workload.DefaultDBParams())
+		res, err := Certain(q, d, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		if res.Engine != c.engine {
+			t.Errorf("%s dispatched to %v, want %v", c.q, res.Engine, c.engine)
+		}
+	}
+}
+
+func TestCertainForcedEngines(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		if d.NumRepairs() > 1<<12 {
+			continue
+		}
+		want, err := naive.Certain(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range []Engine{EngineFO, EnginePTime, EngineCoNP, EngineNaive} {
+			res, err := Certain(q, d, Options{Engine: e})
+			if err != nil {
+				t.Fatalf("engine %v: %v", e, err)
+			}
+			if res.Certain != want {
+				t.Errorf("engine %v disagrees with oracle on trial %d", e, trial)
+			}
+		}
+	}
+	// Forcing FO on a cyclic query errors.
+	if _, err := Certain(workload.Q0(), db.New(), Options{Engine: EngineFO}); err == nil {
+		t.Error("FO engine must reject cyclic attack graphs")
+	}
+	// Forcing PTime on a coNP query errors.
+	if _, err := Certain(workload.NonKeyJoinQuery(), db.New(), Options{Engine: EnginePTime}); err == nil {
+		t.Error("PTime engine must reject strong cycles")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for name, want := range map[string]Engine{
+		"": EngineAuto, "auto": EngineAuto, "fo": EngineFO,
+		"ptime": EnginePTime, "conp": EngineCoNP, "naive": EngineNaive,
+	} {
+		got, err := ParseEngine(name)
+		if err != nil || got != want {
+			t.Errorf("ParseEngine(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseEngine("zzz"); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if EngineCoNP.String() != "conp" || Engine(99).String() == "" {
+		t.Error("Engine.String wrong")
+	}
+}
+
+func TestFalsifyingRepairRoundTrip(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	d := factsDB(t, q, `
+		R(a | b)
+		R(a | dead)
+		S(b | c)
+	`)
+	repair, found, err := FalsifyingRepair(q, d)
+	if err != nil || !found {
+		t.Fatalf("expected falsifying repair: %v %v", found, err)
+	}
+	if match.Satisfies(q, db.FromFacts(repair...)) {
+		t.Error("repair satisfies q")
+	}
+	// Certain instance: no falsifier.
+	d2 := factsDB(t, q, "R(a | b)\nS(b | c)")
+	if _, found, _ := FalsifyingRepair(q, d2); found {
+		t.Error("no falsifier should exist")
+	}
+}
+
+func TestCertainAnswers(t *testing.T) {
+	q := query.MustParse("Product(pid | sid), Supplier(sid | 'DE')")
+	d := factsDB(t, q, `
+		Product(p1 | acme)
+		Product(p2 | globex)
+		Product(p2 | initech)
+		Supplier(acme | DE)
+		Supplier(globex | DE)
+		Supplier(initech | US)
+	`)
+	answers, err := CertainAnswers(q, []query.Var{"pid"}, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 || answers[0]["pid"] != "p1" {
+		t.Errorf("answers = %v, want [pid=p1]", answers)
+	}
+	// Unknown free variable errors.
+	if _, err := CertainAnswers(q, []query.Var{"nope"}, d, Options{}); err == nil {
+		t.Error("unknown free variable accepted")
+	}
+}
+
+// TestCertainAnswersAgainstOracle: every reported certain answer's
+// instantiation is certain per the oracle, and no candidate is missed.
+func TestCertainAnswersAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := query.MustParse("R(x | y), S(y | z)")
+	for trial := 0; trial < 60; trial++ {
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		if d.NumRepairs() > 1<<12 {
+			continue
+		}
+		answers, err := CertainAnswers(q, []query.Var{"x"}, d, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[query.Const]bool{}
+		for _, a := range answers {
+			got[a["x"]] = true
+		}
+		// Recompute by brute force over candidate x values.
+		cands := map[query.Const]bool{}
+		for _, m := range match.AllMatches(q, d) {
+			cands[m["x"]] = true
+		}
+		for c := range cands {
+			want, err := naive.Certain(q.Substitute(query.Valuation{"x": c}), d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want != got[c] {
+				t.Fatalf("answer x=%s: core=%v oracle=%v", c, got[c], want)
+			}
+		}
+	}
+}
+
+func TestRewritingFacade(t *testing.T) {
+	if _, err := Rewriting(query.MustParse("R(x | y)")); err != nil {
+		t.Errorf("rewriting failed: %v", err)
+	}
+	if _, err := Rewriting(workload.Q0()); err == nil {
+		t.Error("cyclic query should have no rewriting")
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cqa/internal/naive"
+	"cqa/internal/query"
+	"cqa/internal/workload"
+)
+
+// TestPossibleAgainstEnumeration: POSSIBILITY(q) via consistent
+// embeddings must match exhaustive repair enumeration.
+func TestPossibleAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 1 + rng.Intn(3)
+		q := workload.RandomQuery(rng, p)
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		if d.NumRepairs() > 1<<12 {
+			continue
+		}
+		got := Possible(q, d)
+		sat, total, err := naive.CountSatisfyingRepairs(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sat > 0 && total > 0
+		if got != want {
+			t.Fatalf("Possible=%v, enumeration says %v (sat=%d/%d)\nq=%s\ndb:\n%s",
+				got, want, sat, total, q, d)
+		}
+	}
+}
+
+func TestPossibleVsCertain(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	d := factsDB(t, q, `
+		R(a | b)
+		R(a | dead)
+		S(b | c)
+	`)
+	res, err := Certain(q, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certain {
+		t.Fatal("setup: should not be certain")
+	}
+	if !Possible(q, d) {
+		t.Error("q holds in the repair keeping R(a|b)")
+	}
+	if !Possible(query.MustParse(""), d) {
+		t.Error("empty query is always possible")
+	}
+}
+
+// TestCertainFractionAgainstExactCount: the sampling estimator converges
+// to the exact satisfying-repair fraction.
+func TestCertainFractionAgainstExactCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	q := query.MustParse("R(x | y), S(y | z)")
+	for trial := 0; trial < 20; trial++ {
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		if d.NumRepairs() > 1<<10 {
+			continue
+		}
+		sat, total, err := naive.CountSatisfyingRepairs(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := float64(sat) / float64(total)
+		est, err := CertainFraction(q, d, 3000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est-exact) > 0.08 {
+			t.Errorf("estimate %.3f vs exact %.3f", est, exact)
+		}
+	}
+	if _, err := CertainFraction(q, workload.RandomDB(rng, q, workload.DefaultDBParams()), 0, rng); err == nil {
+		t.Error("zero samples should error")
+	}
+}
+
+// TestCertainImpliesPossible: on instances with at least one embedding,
+// certainty implies possibility.
+func TestCertainImpliesPossible(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 1 + rng.Intn(3)
+		q := workload.RandomQuery(rng, p)
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		if d.NumRepairs() > 1<<12 {
+			continue
+		}
+		res, err := Certain(q, d, Options{Engine: EngineNaive})
+		if err != nil {
+			continue
+		}
+		if res.Certain && q.Len() > 0 && d.NumBlocks() > 0 {
+			if !Possible(q, d) {
+				t.Fatalf("certain but not possible?! q=%s\ndb:\n%s", q, d)
+			}
+		}
+	}
+}

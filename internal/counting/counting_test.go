@@ -1,0 +1,165 @@
+package counting
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/naive"
+	"cqa/internal/query"
+	"cqa/internal/workload"
+)
+
+func TestCountBasic(t *testing.T) {
+	q := query.MustParse("R(x | '1')")
+	d, err := db.ParseFacts(nil, `
+		R(a | 1)
+		R(a | 2)
+		R(b | 1)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SatisfyingRepairs(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Cmp(big.NewInt(2)) != 0 {
+		t.Errorf("total = %v", res.Total)
+	}
+	// Both repairs contain R(b|1): all satisfy.
+	if res.Satisfying.Cmp(big.NewInt(2)) != 0 {
+		t.Errorf("satisfying = %v", res.Satisfying)
+	}
+	if res.Fraction() != 1 {
+		t.Errorf("fraction = %v", res.Fraction())
+	}
+}
+
+// TestCountAgainstNaive: exact counts match exhaustive enumeration.
+func TestCountAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	for trial := 0; trial < 300; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 1 + rng.Intn(3)
+		q := workload.RandomQuery(rng, p)
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		if d.NumRepairs() > 1<<12 {
+			continue
+		}
+		sat, total, err := naive.CountSatisfyingRepairs(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SatisfyingRepairs(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Total.Cmp(big.NewInt(int64(total))) != 0 {
+			t.Fatalf("total %v vs naive %d\nq=%s\ndb:\n%s", res.Total, total, q, d)
+		}
+		if res.Satisfying.Cmp(big.NewInt(int64(sat))) != 0 {
+			t.Fatalf("sat %v vs naive %d\nq=%s\ndb:\n%s", res.Satisfying, sat, q, d)
+		}
+	}
+}
+
+// TestCountFactorization: many independent components blow past naive
+// enumeration but factorize exactly. 30 disjoint gadgets, each with 2
+// blocks of 2 facts (one satisfying combination of 4): per-gadget
+// falsifier count is 3, so satisfying = 4^30 - 3^30.
+func TestCountFactorization(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | x)")
+	d := db.New()
+	rRel := q.Atoms[0].Rel
+	sRel := q.Atoms[1].Rel
+	n := 30
+	for i := 0; i < n; i++ {
+		x := query.Const(fmt.Sprintf("x%d", i))
+		y := query.Const(fmt.Sprintf("y%d", i))
+		yd := query.Const(fmt.Sprintf("ydead%d", i))
+		xd := query.Const(fmt.Sprintf("xdead%d", i))
+		d.Add(db.Fact{Rel: rRel, Args: []query.Const{x, y}})
+		d.Add(db.Fact{Rel: rRel, Args: []query.Const{x, yd}})
+		d.Add(db.Fact{Rel: sRel, Args: []query.Const{y, x}})
+		d.Add(db.Fact{Rel: sRel, Args: []query.Const{y, xd}})
+	}
+	res, err := SatisfyingRepairs(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four := big.NewInt(4)
+	three := big.NewInt(3)
+	wantTotal := new(big.Int).Exp(four, big.NewInt(int64(n)), nil)
+	wantFalsify := new(big.Int).Exp(three, big.NewInt(int64(n)), nil)
+	wantSat := new(big.Int).Sub(wantTotal, wantFalsify)
+	if res.Total.Cmp(wantTotal) != 0 {
+		t.Errorf("total = %v, want %v", res.Total, wantTotal)
+	}
+	if res.Satisfying.Cmp(wantSat) != 0 {
+		t.Errorf("satisfying = %v, want %v", res.Satisfying, wantSat)
+	}
+	if res.Components != n {
+		t.Errorf("components = %d, want %d", res.Components, n)
+	}
+}
+
+// TestCountConsistentWithDecision: sat == total iff certain; sat > 0 iff
+// possible.
+func TestCountConsistentWithDecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(607))
+	for trial := 0; trial < 200; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 1 + rng.Intn(3)
+		q := workload.RandomQuery(rng, p)
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		res, err := SatisfyingRepairs(q, d)
+		if err != nil {
+			continue
+		}
+		certain, errC := core.Certain(q, d, core.Options{Engine: core.EngineCoNP})
+		if errC != nil {
+			t.Fatal(errC)
+		}
+		if certain.Certain != (res.Satisfying.Cmp(res.Total) == 0) {
+			t.Fatalf("certain=%v but sat=%v/%v\nq=%s\ndb:\n%s",
+				certain.Certain, res.Satisfying, res.Total, q, d)
+		}
+		if core.Possible(q, d) != (res.Satisfying.Sign() > 0) {
+			t.Fatalf("possible mismatch: sat=%v\nq=%s\ndb:\n%s", res.Satisfying, q, d)
+		}
+	}
+}
+
+func TestCountRefusesHugeComponent(t *testing.T) {
+	q := query.MustParse("R(x | y), S(u | y)")
+	d := db.New()
+	rRel := q.Atoms[0].Rel
+	sRel := q.Atoms[1].Rel
+	// One giant component: every R joins every S through shared y pool.
+	for i := 0; i < 40; i++ {
+		for v := 0; v < 3; v++ {
+			d.Add(db.Fact{Rel: rRel, Args: []query.Const{
+				query.Const(fmt.Sprintf("x%d", i)), query.Const(fmt.Sprintf("y%d", v))}})
+			d.Add(db.Fact{Rel: sRel, Args: []query.Const{
+				query.Const(fmt.Sprintf("u%d", i)), query.Const(fmt.Sprintf("y%d", v))}})
+		}
+	}
+	if _, err := SatisfyingRepairs(q, d); err == nil {
+		t.Error("a 3^80 component should exceed the bound")
+	}
+}
+
+func TestEmptyQueryCount(t *testing.T) {
+	d, _ := db.ParseFacts(nil, "R(a | 1)\nR(a | 2)")
+	res, err := SatisfyingRepairs(query.MustParse(""), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfying.Cmp(res.Total) != 0 || res.Total.Cmp(big.NewInt(2)) != 0 {
+		t.Errorf("empty query: %v/%v", res.Satisfying, res.Total)
+	}
+}

@@ -1,0 +1,362 @@
+// Package db implements uncertain databases: finite sets of facts whose
+// relations carry primary keys that may be violated. It provides blocks
+// (maximal sets of key-equal facts), repairs (maximal consistent subsets,
+// obtained by picking exactly one fact per block), and the bookkeeping the
+// solvers need: indexes, active domains, and repair enumeration.
+package db
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cqa/internal/query"
+	"cqa/internal/schema"
+)
+
+// Fact is an R-fact: an atom without variables.
+type Fact struct {
+	Rel  schema.Relation
+	Args []query.Const
+}
+
+// NewFact builds a fact and checks the argument count against the arity.
+func NewFact(rel schema.Relation, args ...query.Const) Fact {
+	if len(args) != rel.Arity {
+		panic(fmt.Sprintf("db: fact %s expects %d arguments, got %d",
+			rel.Name, rel.Arity, len(args)))
+	}
+	return Fact{Rel: rel, Args: args}
+}
+
+// Key returns the primary-key value of the fact.
+func (f Fact) Key() []query.Const { return f.Args[:f.Rel.KeyLen] }
+
+// NonKey returns the non-key positions of the fact.
+func (f Fact) NonKey() []query.Const { return f.Args[f.Rel.KeyLen:] }
+
+// KeyEqual reports whether f and g are key-equal: same relation name and
+// same primary-key value.
+func (f Fact) KeyEqual(g Fact) bool {
+	if f.Rel != g.Rel {
+		return false
+	}
+	for i := 0; i < f.Rel.KeyLen; i++ {
+		if f.Args[i] != g.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports full equality of facts.
+func (f Fact) Equal(g Fact) bool {
+	if f.Rel != g.Rel {
+		return false
+	}
+	for i := range f.Args {
+		if f.Args[i] != g.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BlockID returns a canonical identifier for the block of f: the relation
+// name plus the key value. Two facts are key-equal iff their BlockIDs match.
+func (f Fact) BlockID() string {
+	var b strings.Builder
+	b.WriteString(f.Rel.Name)
+	for _, c := range f.Key() {
+		b.WriteByte('\x00')
+		b.WriteString(string(c))
+	}
+	return b.String()
+}
+
+// ID returns a canonical identifier for the whole fact.
+func (f Fact) ID() string {
+	var b strings.Builder
+	b.WriteString(f.Rel.Name)
+	for _, c := range f.Args {
+		b.WriteByte('\x00')
+		b.WriteString(string(c))
+	}
+	return b.String()
+}
+
+// String renders the fact like an atom, e.g. R(a | b), with a "#c"
+// suffix for mode-c relations and a trailing bar when the whole tuple is
+// the key; the output re-parses to the same fact.
+func (f Fact) String() string {
+	var b strings.Builder
+	b.WriteString(f.Rel.Name)
+	if f.Rel.Mode == schema.ModeC {
+		b.WriteString("#c")
+	}
+	b.WriteByte('(')
+	for i, c := range f.Args {
+		if i > 0 {
+			if i == f.Rel.KeyLen {
+				b.WriteString(" | ")
+			} else {
+				b.WriteString(", ")
+			}
+		}
+		b.WriteString(string(c))
+	}
+	if f.Rel.KeyLen == len(f.Args) && len(f.Args) > 0 {
+		b.WriteString(" |")
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Block is a maximal set of key-equal facts.
+type Block struct {
+	ID    string
+	Facts []Fact
+}
+
+// DB is an uncertain database: a set of facts with stable insertion order
+// and indexes by relation and by block. The zero value is not ready; use
+// New.
+type DB struct {
+	facts   []Fact
+	present map[string]bool  // fact ID -> present
+	byRel   map[string][]int // relation name -> fact positions
+	byBlock map[string][]int // block ID -> fact positions
+	order   []string         // block IDs in first-seen order
+}
+
+// New returns an empty uncertain database.
+func New() *DB {
+	return &DB{
+		present: make(map[string]bool),
+		byRel:   make(map[string][]int),
+		byBlock: make(map[string][]int),
+	}
+}
+
+// FromFacts returns a database containing the given facts.
+func FromFacts(facts ...Fact) *DB {
+	d := New()
+	for _, f := range facts {
+		d.Add(f)
+	}
+	return d
+}
+
+// Add inserts a fact; duplicates are ignored. It returns true if the fact
+// was new.
+func (d *DB) Add(f Fact) bool {
+	id := f.ID()
+	if d.present[id] {
+		return false
+	}
+	d.present[id] = true
+	pos := len(d.facts)
+	d.facts = append(d.facts, f)
+	d.byRel[f.Rel.Name] = append(d.byRel[f.Rel.Name], pos)
+	bid := f.BlockID()
+	if _, seen := d.byBlock[bid]; !seen {
+		d.order = append(d.order, bid)
+	}
+	d.byBlock[bid] = append(d.byBlock[bid], pos)
+	return true
+}
+
+// Has reports whether the fact is in the database.
+func (d *DB) Has(f Fact) bool { return d.present[f.ID()] }
+
+// Len returns the number of facts.
+func (d *DB) Len() int { return len(d.facts) }
+
+// Facts returns all facts in insertion order. The caller must not modify
+// the returned slice.
+func (d *DB) Facts() []Fact { return d.facts }
+
+// FactsOf returns the facts of the named relation in insertion order.
+func (d *DB) FactsOf(relName string) []Fact {
+	positions := d.byRel[relName]
+	out := make([]Fact, len(positions))
+	for i, p := range positions {
+		out[i] = d.facts[p]
+	}
+	return out
+}
+
+// Relations returns the relation names present in the database, sorted.
+func (d *DB) Relations() []string {
+	names := make([]string, 0, len(d.byRel))
+	for n, ps := range d.byRel {
+		if len(ps) > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Blocks returns all blocks in first-seen order.
+func (d *DB) Blocks() []Block {
+	out := make([]Block, 0, len(d.order))
+	for _, bid := range d.order {
+		out = append(out, d.blockAt(bid))
+	}
+	return out
+}
+
+// BlocksOf returns the blocks of the named relation in first-seen order.
+func (d *DB) BlocksOf(relName string) []Block {
+	var out []Block
+	for _, bid := range d.order {
+		b := d.blockAt(bid)
+		if len(b.Facts) > 0 && b.Facts[0].Rel.Name == relName {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func (d *DB) blockAt(bid string) Block {
+	positions := d.byBlock[bid]
+	fs := make([]Fact, len(positions))
+	for i, p := range positions {
+		fs[i] = d.facts[p]
+	}
+	return Block{ID: bid, Facts: fs}
+}
+
+// BlockOf returns block(A, db): the block containing the given fact
+// (facts key-equal to it, whether or not A itself is present).
+func (d *DB) BlockOf(f Fact) Block {
+	return d.blockAt(f.BlockID())
+}
+
+// Consistent reports whether no two distinct facts are key-equal, i.e.
+// every block is a singleton.
+func (d *DB) Consistent() bool {
+	for _, ps := range d.byBlock {
+		if len(ps) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ConsistentFor reports whether every relation with mode c is consistent,
+// the legality condition for inputs to CERTAINTY(q) with mode-c relations.
+func (d *DB) ConsistentFor() bool {
+	for _, ps := range d.byBlock {
+		if len(ps) > 1 && d.facts[ps[0]].Rel.Mode == schema.ModeC {
+			return false
+		}
+	}
+	return true
+}
+
+// NumBlocks returns the number of blocks.
+func (d *DB) NumBlocks() int { return len(d.order) }
+
+// NumRepairs returns the number of repairs (the product of block sizes) as
+// a float64; it saturates at +Inf on overflow.
+func (d *DB) NumRepairs() float64 {
+	n := 1.0
+	for _, ps := range d.byBlock {
+		n *= float64(len(ps))
+		if math.IsInf(n, 1) {
+			return n
+		}
+	}
+	return n
+}
+
+// ActiveDomain returns adom(db): the set of constants occurring in the
+// database, sorted.
+func (d *DB) ActiveDomain() []query.Const {
+	seen := make(map[query.Const]bool)
+	for _, f := range d.facts {
+		for _, c := range f.Args {
+			seen[c] = true
+		}
+	}
+	out := make([]query.Const, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns an independent copy of the database.
+func (d *DB) Clone() *DB {
+	c := New()
+	for _, f := range d.facts {
+		c.Add(f)
+	}
+	return c
+}
+
+// Filter returns a new database with the facts satisfying keep.
+func (d *DB) Filter(keep func(Fact) bool) *DB {
+	c := New()
+	for _, f := range d.facts {
+		if keep(f) {
+			c.Add(f)
+		}
+	}
+	return c
+}
+
+// Without returns a new database with the given facts removed.
+func (d *DB) Without(facts []Fact) *DB {
+	drop := make(map[string]bool, len(facts))
+	for _, f := range facts {
+		drop[f.ID()] = true
+	}
+	return d.Filter(func(f Fact) bool { return !drop[f.ID()] })
+}
+
+// RestrictRels returns a new database containing only facts of the named
+// relations.
+func (d *DB) RestrictRels(names map[string]bool) *DB {
+	return d.Filter(func(f Fact) bool { return names[f.Rel.Name] })
+}
+
+// Repairs enumerates every repair of the database, invoking yield with a
+// fact slice (reused between calls; copy it to retain). Enumeration stops
+// early when yield returns false. The number of repairs is the product of
+// block sizes, so this is only feasible for small databases; the solvers
+// use it exclusively as a brute-force oracle.
+func (d *DB) Repairs(yield func([]Fact) bool) {
+	blocks := d.Blocks()
+	repair := make([]Fact, len(blocks))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(blocks) {
+			return yield(repair)
+		}
+		for _, f := range blocks[i].Facts {
+			repair[i] = f
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// String renders the database one fact per line in insertion order.
+func (d *DB) String() string {
+	var b strings.Builder
+	for i, f := range d.facts {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(f.String())
+	}
+	return b.String()
+}

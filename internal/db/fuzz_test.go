@@ -1,0 +1,33 @@
+package db
+
+import "testing"
+
+// FuzzParseFact: the fact parser must never panic and accepted facts
+// must round-trip through String.
+func FuzzParseFact(f *testing.F) {
+	for _, seed := range []string{
+		"R(a | b)",
+		"S(x, y | z)",
+		"T#c(k | v)",
+		"R(a, b |)",
+		"R(a",
+		"",
+		"R(a,,b)",
+		"R(a | b | c)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		fact, err := ParseFact(nil, s)
+		if err != nil {
+			return
+		}
+		back, err := ParseFact(nil, fact.String())
+		if err != nil {
+			t.Fatalf("round trip parse failed: %q -> %q: %v", s, fact.String(), err)
+		}
+		if !fact.Equal(back) {
+			t.Fatalf("round trip changed fact: %q -> %q -> %q", s, fact.String(), back.String())
+		}
+	})
+}

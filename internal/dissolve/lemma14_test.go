@@ -1,0 +1,164 @@
+package dissolve
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/attack"
+	"cqa/internal/markov"
+	"cqa/internal/query"
+	"cqa/internal/schema"
+	"cqa/internal/simplify"
+	"cqa/internal/workload"
+)
+
+// simplifyQueryLevel runs the query-side part of the Lemma 12 pipeline
+// (pattern elimination, key packing, saturation) — no database needed.
+func simplifyQueryLevel(t *testing.T, q query.Query) (query.Query, bool) {
+	t.Helper()
+	n, err := simplify.NormalizeQuery(q)
+	if err != nil {
+		return q, false
+	}
+	return n, true
+}
+
+// TestLemma14PreservesNoStrongCycle: dissolving a premier Markov cycle
+// of a strong-cycle-free query yields a strong-cycle-free query, and
+// the number of mode-i atoms strictly decreases (used by Theorem 4's
+// induction).
+func TestLemma14PreservesNoStrongCycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	dissolved := 0
+	for trial := 0; trial < 20000 && dissolved < 150; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 2 + rng.Intn(4)
+		p.PModeC = 0.2
+		p.PConst = 0
+		q0 := workload.RandomQuery(rng, p)
+		g0, err := attack.BuildGraph(q0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g0.HasCycle() || g0.HasStrongCycle() {
+			continue
+		}
+		q, ok := simplifyQueryLevel(t, q0)
+		if !ok {
+			continue
+		}
+		g, err := attack.BuildGraph(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.HasStrongCycle() {
+			t.Fatalf("simplification introduced a strong cycle: %s -> %s", q0, q)
+		}
+		// Dissolution regime: every mode-i atom attacked.
+		regime := true
+		for _, i := range g.Unattacked() {
+			if q.Atoms[i].Rel.Mode == schema.ModeI {
+				regime = false
+				break
+			}
+		}
+		if !regime {
+			continue
+		}
+		m, err := markov.Build(q)
+		if err != nil {
+			continue
+		}
+		c := m.PremierCycle(g)
+		if c == nil {
+			// Lemma 15 should always provide one in this regime for
+			// saturated queries; surface it.
+			t.Fatalf("no premier cycle for saturated all-attacked query %s (from %s)", q, q0)
+		}
+		dd, err := Dissolve(q, m, c)
+		if err != nil {
+			t.Fatalf("dissolve failed on %s: %v", q, err)
+		}
+		dissolved++
+		gStar, err := attack.BuildGraph(dd.QStar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gStar.HasStrongCycle() {
+			t.Fatalf("Lemma 14 violated: dissolve(%v, %s) = %s has a strong cycle",
+				c, q, dd.QStar)
+		}
+		if dd.QStar.InconsistencyCount() >= q.InconsistencyCount() {
+			t.Fatalf("incnt did not decrease: %s -> %s", q, dd.QStar)
+		}
+	}
+	if dissolved < 30 {
+		t.Fatalf("only %d dissolutions exercised", dissolved)
+	}
+	t.Logf("dissolved %d random queries", dissolved)
+}
+
+// TestRepeatedDissolutionTerminates: iterating simplify+dissolve at the
+// query level reaches incnt <= 1 (the all-attacked regime disappears),
+// mirroring Theorem 4's induction.
+func TestRepeatedDissolutionTerminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(503))
+	done := 0
+	for trial := 0; trial < 8000 && done < 40; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 2 + rng.Intn(3)
+		p.PConst = 0
+		q := workload.RandomQuery(rng, p)
+		g, err := attack.BuildGraph(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.HasCycle() || g.HasStrongCycle() {
+			continue
+		}
+		done++
+		for round := 0; round < 32; round++ {
+			q2, ok := simplifyQueryLevel(t, q)
+			if !ok {
+				break
+			}
+			q = q2
+			g, err = attack.BuildGraph(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			regime := true
+			for _, i := range g.Unattacked() {
+				if q.Atoms[i].Rel.Mode == schema.ModeI {
+					regime = false
+					break
+				}
+			}
+			if !regime {
+				break // the Lemma 9 branch takes over
+			}
+			m, err := markov.Build(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := m.PremierCycle(g)
+			if c == nil {
+				t.Fatalf("no premier cycle on round %d for %s", round, q)
+			}
+			dd, err := Dissolve(q, m, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dd.QStar.InconsistencyCount() >= q.InconsistencyCount() {
+				t.Fatalf("induction measure stalled on %s", q)
+			}
+			q = dd.QStar
+			if q.InconsistencyCount() <= 1 {
+				break
+			}
+		}
+	}
+	if done < 10 {
+		t.Fatalf("only %d chains exercised", done)
+	}
+}

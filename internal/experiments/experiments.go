@@ -1,0 +1,149 @@
+// Package experiments implements the benchmark harness of EXPERIMENTS.md:
+// every experiment regenerates one of the paper's formal artifacts
+// (figures, examples, the classification table) or validates one of its
+// complexity claims on synthetic workloads. The cqa-bench command and the
+// repository-root benchmarks drive this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is a printable result table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner executes experiments.
+type Runner struct {
+	Out io.Writer
+	// Quick shrinks the sweeps so the whole suite runs in seconds; used
+	// by tests. Full mode is for cqa-bench.
+	Quick bool
+	// Seed fixes all randomness.
+	Seed int64
+}
+
+// IDs returns the experiment identifiers in order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(id string) string {
+	e, ok := registry[id]
+	if !ok {
+		return ""
+	}
+	return e.desc
+}
+
+type experiment struct {
+	desc string
+	run  func(r *Runner) error
+}
+
+var registry = map[string]experiment{}
+
+func register(id, desc string, run func(r *Runner) error) {
+	registry[id] = experiment{desc: desc, run: run}
+}
+
+// Run executes one experiment by id ("E1".."E12") or all of them ("all").
+func (r *Runner) Run(id string) error {
+	if id == "all" {
+		for _, x := range IDs() {
+			if err := r.Run(x); err != nil {
+				return fmt.Errorf("%s: %w", x, err)
+			}
+		}
+		return nil
+	}
+	e, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	fmt.Fprintf(r.Out, "### %s — %s\n\n", id, e.desc)
+	return e.run(r)
+}
+
+// timeIt measures fn over enough iterations to be stable.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	iters := 0
+	for {
+		fn()
+		iters++
+		if el := time.Since(start); el > 20*time.Millisecond || iters >= 1000 {
+			return el / time.Duration(iters)
+		}
+	}
+}

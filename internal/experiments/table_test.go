@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tbl := Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("short", 3.14159)
+	tbl.AddRow("a-much-longer-name", time.Duration(1234567)*time.Nanosecond)
+	tbl.Notes = append(tbl.Notes, "a note")
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, frag := range []string{"== demo ==", "name", "value", "3.14", "1.235ms", "note: a note", "----"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+	// Column alignment: both data rows start the second column at the
+	// same offset.
+	var starts []int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "3.14") || strings.Contains(line, "1.235ms") {
+			if i := strings.LastIndex(line, "  "); i >= 0 {
+				starts = append(starts, i)
+			}
+		}
+	}
+	if len(starts) == 2 && starts[0] != starts[1] {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTimeItReturnsPositive(t *testing.T) {
+	d := timeIt(func() {})
+	if d < 0 {
+		t.Errorf("timeIt = %v", d)
+	}
+}
+
+func TestRunnerSingleExperiments(t *testing.T) {
+	for _, id := range []string{"E3", "E8", "E13"} {
+		var buf bytes.Buffer
+		r := &Runner{Out: &buf, Quick: true, Seed: 7}
+		if err := r.Run(id); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", id)
+		}
+	}
+}

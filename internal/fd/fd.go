@@ -1,0 +1,126 @@
+// Package fd implements functional dependencies over query variables and
+// the closure computations that underpin attack graphs.
+//
+// A functional dependency for a query q is an expression X -> Y with
+// X, Y subsets of vars(q). The set K(q) contains key(F) -> vars(F) for
+// every atom F of q (Section 4 of Koutris & Wijsen, PODS 2015).
+package fd
+
+import (
+	"sort"
+	"strings"
+
+	"cqa/internal/query"
+)
+
+// FD is a functional dependency From -> To over query variables.
+type FD struct {
+	From query.VarSet
+	To   query.VarSet
+}
+
+// New builds an FD from variable slices.
+func New(from, to []query.Var) FD {
+	return FD{From: query.NewVarSet(from...), To: query.NewVarSet(to...)}
+}
+
+// String renders the FD as "{x, y} -> {z}".
+func (f FD) String() string {
+	return f.From.String() + " -> " + f.To.String()
+}
+
+// Set is a list of functional dependencies.
+type Set []FD
+
+// K returns K(q) = {key(F) -> vars(F) | F in q}.
+func K(q query.Query) Set {
+	out := make(Set, 0, q.Len())
+	for _, a := range q.Atoms {
+		out = append(out, FD{From: a.KeyVars(), To: a.Vars()})
+	}
+	return out
+}
+
+// Closure computes the closure of the variable set start under the
+// dependencies in s: the least superset X of start such that From ⊆ X
+// implies To ⊆ X for every FD. Runs the textbook fixpoint in
+// O(|s| * total FD size) per round.
+func (s Set) Closure(start query.VarSet) query.VarSet {
+	closure := start.Clone()
+	applied := make([]bool, len(s))
+	for changed := true; changed; {
+		changed = false
+		for i, f := range s {
+			if applied[i] {
+				continue
+			}
+			if f.From.SubsetOf(closure) {
+				applied[i] = true
+				for v := range f.To {
+					if !closure.Has(v) {
+						closure.Add(v)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return closure
+}
+
+// Implies reports whether s entails the dependency from -> to, i.e.
+// to ⊆ closure(from).
+func (s Set) Implies(from, to query.VarSet) bool {
+	return to.SubsetOf(s.Closure(from))
+}
+
+// ImpliesVar reports whether s entails from -> {x}.
+func (s Set) ImpliesVar(from query.VarSet, x query.Var) bool {
+	return s.Closure(from).Has(x)
+}
+
+// Union returns the concatenation of s and t.
+func (s Set) Union(t Set) Set {
+	out := make(Set, 0, len(s)+len(t))
+	out = append(out, s...)
+	out = append(out, t...)
+	return out
+}
+
+// String renders the set one FD per line, sorted, for stable output.
+func (s Set) String() string {
+	parts := make([]string, len(s))
+	for i, f := range s {
+		parts[i] = f.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\n")
+}
+
+// SatisfiedByValuations reports whether a collection of valuations (for
+// example all embeddings of a query into a database) satisfies X -> Y in
+// the sense of the paper's "functional dependency for q": for all
+// valuations theta, mu, if theta[X] = mu[X] then theta[Y] = mu[Y].
+func SatisfiedByValuations(vals []query.Valuation, x, y query.VarSet) bool {
+	// Group by the X-projection and demand a unique Y-projection per group.
+	proj := func(v query.Valuation, s query.VarSet) string {
+		vars := s.Sorted()
+		parts := make([]string, len(vars))
+		for i, w := range vars {
+			parts[i] = string(v[w])
+		}
+		return strings.Join(parts, "\x00")
+	}
+	seen := make(map[string]string)
+	for _, v := range vals {
+		kx, ky := proj(v, x), proj(v, y)
+		if prev, ok := seen[kx]; ok {
+			if prev != ky {
+				return false
+			}
+		} else {
+			seen[kx] = ky
+		}
+	}
+	return true
+}

@@ -1,0 +1,148 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cqa/internal/query"
+)
+
+func TestClosureBasic(t *testing.T) {
+	fds := Set{
+		New([]query.Var{"x"}, []query.Var{"y"}),
+		New([]query.Var{"y"}, []query.Var{"z"}),
+	}
+	got := fds.Closure(query.NewVarSet("x"))
+	if !got.Equal(query.NewVarSet("x", "y", "z")) {
+		t.Errorf("closure = %s", got)
+	}
+	if !fds.Implies(query.NewVarSet("x"), query.NewVarSet("z")) {
+		t.Error("x -> z should be entailed")
+	}
+	if fds.Implies(query.NewVarSet("y"), query.NewVarSet("x")) {
+		t.Error("y -> x should not be entailed")
+	}
+	if !fds.ImpliesVar(query.NewVarSet("x"), "z") {
+		t.Error("ImpliesVar")
+	}
+}
+
+func TestClosureEmptyLHS(t *testing.T) {
+	fds := Set{New(nil, []query.Var{"a"})}
+	got := fds.Closure(query.NewVarSet())
+	if !got.Has("a") {
+		t.Error("empty LHS fires unconditionally")
+	}
+}
+
+func TestKOfQuery(t *testing.T) {
+	q := query.MustParse("R(x | y), V(x, u | v)")
+	k := K(q)
+	if len(k) != 2 {
+		t.Fatalf("|K(q)| = %d", len(k))
+	}
+	if !k.Implies(query.NewVarSet("x", "u"), query.NewVarSet("v")) {
+		t.Error("xu -> v missing")
+	}
+	if k.Implies(query.NewVarSet("u"), query.NewVarSet("v")) {
+		t.Error("u alone should not determine v")
+	}
+}
+
+// Closure properties, checked with testing/quick over random FD sets.
+func randomFDs(rng *rand.Rand) Set {
+	vars := []query.Var{"a", "b", "c", "d", "e"}
+	n := rng.Intn(6)
+	out := make(Set, 0, n)
+	for i := 0; i < n; i++ {
+		pick := func() query.VarSet {
+			s := query.NewVarSet()
+			for _, v := range vars {
+				if rng.Intn(3) == 0 {
+					s.Add(v)
+				}
+			}
+			return s
+		}
+		out = append(out, FD{From: pick(), To: pick()})
+	}
+	return out
+}
+
+func TestClosureProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fds := randomFDs(r)
+		start := query.NewVarSet()
+		for _, v := range []query.Var{"a", "b", "c"} {
+			if r.Intn(2) == 0 {
+				start.Add(v)
+			}
+		}
+		cl := fds.Closure(start)
+		// extensive
+		if !start.SubsetOf(cl) {
+			return false
+		}
+		// idempotent
+		if !fds.Closure(cl).Equal(cl) {
+			return false
+		}
+		// monotone: closure of a superset contains the closure
+		super := start.Clone()
+		super.Add("d")
+		if !cl.SubsetOf(fds.Closure(super)) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionAndString(t *testing.T) {
+	a := Set{New([]query.Var{"x"}, []query.Var{"y"})}
+	b := Set{New([]query.Var{"y"}, []query.Var{"z"})}
+	u := a.Union(b)
+	if len(u) != 2 {
+		t.Fatalf("union size %d", len(u))
+	}
+	if u.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestSatisfiedByValuations(t *testing.T) {
+	vals := []query.Valuation{
+		{"x": "1", "y": "a"},
+		{"x": "1", "y": "a"},
+		{"x": "2", "y": "b"},
+	}
+	if !SatisfiedByValuations(vals, query.NewVarSet("x"), query.NewVarSet("y")) {
+		t.Error("x -> y holds on these valuations")
+	}
+	vals = append(vals, query.Valuation{"x": "1", "y": "zzz"})
+	if SatisfiedByValuations(vals, query.NewVarSet("x"), query.NewVarSet("y")) {
+		t.Error("x -> y violated")
+	}
+}
+
+// TestExample1FD reproduces Example 1's point: the unpurified relation
+// violates y -> z over its embeddings, the purified one satisfies it.
+func TestExample1FD(t *testing.T) {
+	all := []query.Valuation{
+		{"y": "b", "z": "c"},
+		{"y": "b", "z": "f"},
+	}
+	if SatisfiedByValuations(all, query.NewVarSet("y"), query.NewVarSet("z")) {
+		t.Error("unpurified relation should violate y -> z")
+	}
+	purified := all[:1]
+	if !SatisfiedByValuations(purified, query.NewVarSet("y"), query.NewVarSet("z")) {
+		t.Error("purified relation should satisfy y -> z")
+	}
+}

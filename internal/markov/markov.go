@@ -1,0 +1,282 @@
+// Package markov implements Markov graphs (Definition 4 of Koutris &
+// Wijsen, PODS 2015): directed graphs over the variables of a query in
+// which x -> y holds when K(Cq(x) ∪ [[q]]) entails x -> y. The package
+// finds the premier elementary cycles whose dissolution drives the
+// polynomial-time algorithm of Theorem 4, including the cycle-shortening
+// normalization described in Section 6.5.
+package markov
+
+import (
+	"fmt"
+
+	"cqa/internal/attack"
+	"cqa/internal/dgraph"
+	"cqa/internal/fd"
+	"cqa/internal/query"
+	"cqa/internal/schema"
+)
+
+// Graph is the Markov graph of a query whose mode-i atoms are simple-key.
+type Graph struct {
+	Q    query.Query
+	Vars []query.Var // sorted vertex order
+	idx  map[query.Var]int
+	g    *dgraph.Graph
+	// cq[x] lists the indices of the atoms in Cq(x): mode-i atoms with
+	// key(F) = {x}.
+	cq map[query.Var][]int
+	kq fd.Set
+}
+
+// Build constructs the Markov graph of q. Every mode-i atom must be
+// simple-key with a variable in key position (atoms with a constant key
+// belong to no Cq(x) and contribute nothing).
+func Build(q query.Query) (*Graph, error) {
+	for _, a := range q.Atoms {
+		if a.Rel.Mode == schema.ModeI && !a.Rel.SimpleKey() {
+			return nil, fmt.Errorf("markov: mode-i atom %s is not simple-key", a)
+		}
+	}
+	vars := q.Vars().Sorted()
+	m := &Graph{
+		Q:    q,
+		Vars: vars,
+		idx:  make(map[query.Var]int, len(vars)),
+		g:    dgraph.New(len(vars)),
+		cq:   make(map[query.Var][]int),
+		kq:   fd.K(q),
+	}
+	for i, v := range vars {
+		m.idx[v] = i
+	}
+	for i, a := range q.Atoms {
+		if a.Rel.Mode != schema.ModeI {
+			continue
+		}
+		kt := a.KeyArgs()[0]
+		if kt.IsVar() {
+			m.cq[kt.Var()] = append(m.cq[kt.Var()], i)
+		}
+	}
+	consistent := q.ConsistentPart()
+	for _, x := range vars {
+		// FDs of Cq(x) ∪ [[q]].
+		var fds fd.Set
+		for _, ai := range m.cq[x] {
+			a := q.Atoms[ai]
+			fds = append(fds, fd.FD{From: a.KeyVars(), To: a.Vars()})
+		}
+		for _, a := range consistent.Atoms {
+			fds = append(fds, fd.FD{From: a.KeyVars(), To: a.Vars()})
+		}
+		closure := fds.Closure(query.NewVarSet(x))
+		for y := range closure {
+			if y != x {
+				m.g.AddEdge(m.idx[x], m.idx[y])
+			}
+		}
+	}
+	return m, nil
+}
+
+// Cq returns Cq(x): the mode-i atoms of q whose key is exactly {x}.
+func (m *Graph) Cq(x query.Var) []query.Atom {
+	var out []query.Atom
+	for _, i := range m.cq[x] {
+		out = append(out, m.Q.Atoms[i])
+	}
+	return out
+}
+
+// CqVars returns vars(Cq(x)), the set X_i used by the dissolution
+// reduction.
+func (m *Graph) CqVars(x query.Var) query.VarSet {
+	s := make(query.VarSet)
+	for _, i := range m.cq[x] {
+		s.AddAll(m.Q.Atoms[i].Vars())
+	}
+	return s
+}
+
+// HasEdge reports x -> y in the Markov graph.
+func (m *Graph) HasEdge(x, y query.Var) bool {
+	i, okX := m.idx[x]
+	j, okY := m.idx[y]
+	return okX && okY && m.g.HasEdge(i, j)
+}
+
+// Reaches reports x ->* y (every variable reaches itself).
+func (m *Graph) Reaches(x, y query.Var) bool {
+	if x == y {
+		return true
+	}
+	i, okX := m.idx[x]
+	j, okY := m.idx[y]
+	if !okX || !okY {
+		return false
+	}
+	return m.g.Reachable(i)[j]
+}
+
+// Edges lists the Markov edges as variable pairs, deterministically.
+func (m *Graph) Edges() [][2]query.Var {
+	var out [][2]query.Var
+	for _, e := range m.g.Edges() {
+		out = append(out, [2]query.Var{m.Vars[e[0]], m.Vars[e[1]]})
+	}
+	return out
+}
+
+// IsPremier reports whether the elementary cycle C is premier
+// (Definition 4): some variable x is the key of a mode-i atom lying in an
+// initial strong component of the attack graph, and some y in C satisfies
+// x ->* y (Markov) and K(q) |= y -> x.
+func (m *Graph) IsPremier(c []query.Var, ag *attack.Graph) bool {
+	for i, a := range m.Q.Atoms {
+		if a.Rel.Mode != schema.ModeI || !a.Rel.SimpleKey() {
+			continue
+		}
+		kt := a.KeyArgs()[0]
+		if !kt.IsVar() {
+			continue
+		}
+		x := kt.Var()
+		if !ag.InInitialStrongComponent(i) {
+			continue
+		}
+		for _, y := range c {
+			if m.Reaches(x, y) && m.kq.ImpliesVar(query.NewVarSet(y), x) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PremierCycle searches for an elementary directed Markov cycle C that is
+// premier and has Cq(y) ≠ ∅ for every y in C (Lemma 15 guarantees one
+// exists when q is saturated, strong-cycle-free, every mode-i atom is
+// simple-key with a nonempty key, and the attack graph has an initial
+// strong component with two or more atoms). The returned cycle is
+// shortened per Section 6.5 so that no variable of the cycle occurs in
+// vars(Cq(x_j)) for a non-adjacent position j. Returns nil when no such
+// cycle exists.
+func (m *Graph) PremierCycle(ag *attack.Graph) []query.Var {
+	// Restrict to vertices with nonempty Cq.
+	allowed := make(map[int]bool)
+	for v, atoms := range m.cq {
+		if len(atoms) > 0 {
+			allowed[m.idx[v]] = true
+		}
+	}
+	sub := dgraph.New(len(m.Vars))
+	for _, e := range m.g.Edges() {
+		if allowed[e[0]] && allowed[e[1]] {
+			sub.AddEdge(e[0], e[1])
+		}
+	}
+	// Candidate y's: variables reachable from an eligible x with
+	// K(q) |= y -> x.
+	var best []query.Var
+	for i, a := range m.Q.Atoms {
+		if a.Rel.Mode != schema.ModeI || !a.Rel.SimpleKey() {
+			continue
+		}
+		kt := a.KeyArgs()[0]
+		if !kt.IsVar() || !ag.InInitialStrongComponent(i) {
+			continue
+		}
+		x := kt.Var()
+		for _, y := range m.Vars {
+			if !allowed[m.idx[y]] {
+				continue
+			}
+			if !m.Reaches(x, y) || !m.kq.ImpliesVar(query.NewVarSet(y), x) {
+				continue
+			}
+			cycleIdx := sub.ShortestCycleThrough(m.idx[y])
+			if len(cycleIdx) < 2 {
+				continue // self-loops cannot occur (x != y required for edges)
+			}
+			cycle := make([]query.Var, len(cycleIdx))
+			for k, vi := range cycleIdx {
+				cycle[k] = m.Vars[vi]
+			}
+			cycle = m.Shorten(cycle)
+			if !m.IsPremier(cycle, ag) {
+				continue
+			}
+			if best == nil || len(cycle) < len(best) {
+				best = cycle
+			}
+		}
+	}
+	return best
+}
+
+// Shorten applies the Section 6.5 normalization: while some cycle
+// variable x_i occurs in vars(Cq(x_j)) for a position j outside
+// {i, i⊖1}, replace the cycle with the shorter cycle
+// x_j -> x_i -> x_(i⊕1) -> ... -> x_j (the edge x_j -> x_i exists because
+// Cq(x_j)'s key FD puts all of vars(Cq(x_j)) in x_j's closure).
+func (m *Graph) Shorten(c []query.Var) []query.Var {
+	k := len(c)
+	for {
+		if k <= 2 {
+			return c
+		}
+		shortened := false
+		for j := 0; j < k && !shortened; j++ {
+			xj := c[j]
+			xjVars := m.CqVars(xj)
+			for i := 0; i < k; i++ {
+				if i == j || (j+1)%k == i {
+					// i == j⊕1 keeps the same length; i == j is trivial.
+					continue
+				}
+				if (i+k-1)%k == j {
+					// j == i⊖1 is the benign case discussed in the paper.
+					continue
+				}
+				if !xjVars.Has(c[i]) {
+					continue
+				}
+				if !m.HasEdge(xj, c[i]) {
+					continue
+				}
+				// New cycle: positions i, i+1, ..., j (mod k).
+				var nc []query.Var
+				for p := i; ; p = (p + 1) % k {
+					nc = append(nc, c[p])
+					if p == j {
+						break
+					}
+				}
+				if len(nc) >= 2 && len(nc) < k {
+					c = nc
+					k = len(c)
+					shortened = true
+					break
+				}
+			}
+		}
+		if !shortened {
+			return c
+		}
+	}
+}
+
+// String renders the Markov graph as "x -> y" lines.
+func (m *Graph) String() string {
+	s := ""
+	for _, e := range m.Edges() {
+		if s != "" {
+			s += "\n"
+		}
+		s += string(e[0]) + " -> " + string(e[1])
+	}
+	if s == "" {
+		return "(no edges)"
+	}
+	return s
+}

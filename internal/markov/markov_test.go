@@ -1,0 +1,196 @@
+package markov
+
+import (
+	"testing"
+
+	"cqa/internal/attack"
+	"cqa/internal/query"
+)
+
+func edgeSet(m *Graph) map[string]bool {
+	out := map[string]bool{}
+	for _, e := range m.Edges() {
+		out[string(e[0])+"->"+string(e[1])] = true
+	}
+	return out
+}
+
+// TestFigure2Markov reproduces the Markov graph of Example 7 / Figure 2
+// (right): x -> {y, v, w}, v -> {w, y}, y -> {x}, w -> {v, y}.
+func TestFigure2Markov(t *testing.T) {
+	q := query.MustParse("R(x | y, v), S(y | x), V1#c(v | w), W(w | v), V2#c(w | y)")
+	m, err := Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"x->y", "x->v", "x->w",
+		"v->w", "v->y",
+		"y->x",
+		"w->v", "w->y",
+	}
+	got := edgeSet(m)
+	for _, e := range want {
+		if !got[e] {
+			t.Errorf("missing Markov edge %s\ngraph:\n%s", e, m)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("got %d edges, want %d:\n%s", len(got), len(want), m)
+	}
+
+	// Cq(x) = {R}, Cq(v) = {} as computed in Example 7.
+	if len(m.Cq("x")) != 1 || m.Cq("x")[0].Rel.Name != "R" {
+		t.Errorf("Cq(x) = %v", m.Cq("x"))
+	}
+	if len(m.Cq("v")) != 0 {
+		t.Errorf("Cq(v) = %v, want empty", m.Cq("v"))
+	}
+
+	// Premier cycles: the text argues every cycle containing x or y is
+	// premier, and v,w,v is premier too (x ->* v and K(q) |= v -> x).
+	g, err := attack.BuildGraph(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsPremier([]query.Var{"x", "y"}, g) {
+		t.Errorf("cycle x,y should be premier")
+	}
+	if !m.IsPremier([]query.Var{"v", "w"}, g) {
+		t.Errorf("cycle v,w should be premier (via x ->* v, K |= v -> x)")
+	}
+	c := m.PremierCycle(g)
+	if c == nil {
+		t.Fatal("no premier cycle found")
+	}
+	for _, y := range c {
+		if len(m.Cq(y)) == 0 {
+			t.Errorf("premier cycle %v passes through %s with empty Cq", c, y)
+		}
+	}
+}
+
+// TestExample9Markov reproduces Example 9: the Markov graph of the
+// unsaturated Example 6 query is the path w -> x -> y -> z, and after
+// adding the saturating atom S^c(y | z) the cycle x <-> w appears.
+func TestExample9Markov(t *testing.T) {
+	q := query.MustParse("R(x | y), S1(y | z), S2(y | z), T#c(x, z | w), U(w | x)")
+	m, err := Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"w->x": true, "x->y": true, "y->z": true}
+	got := edgeSet(m)
+	for e := range want {
+		if !got[e] {
+			t.Errorf("missing edge %s", e)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("Markov graph should be the path w->x->y->z, got:\n%s", m)
+	}
+	g, _ := attack.BuildGraph(q)
+	if c := m.PremierCycle(g); c != nil {
+		t.Errorf("unsaturated query should have no Markov cycle, got %v", c)
+	}
+
+	q2 := query.MustParse("R(x | y), S1(y | z), S2(y | z), T#c(x, z | w), U(w | x), Ssat#c(y | z)")
+	m2, err := Build(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.HasEdge("x", "w") || !m2.HasEdge("w", "x") {
+		t.Errorf("saturated query should have the cycle x <-> w:\n%s", m2)
+	}
+	g2, _ := attack.BuildGraph(q2)
+	c := m2.PremierCycle(g2)
+	if c == nil {
+		t.Fatal("premier cycle expected after saturation (Example 9)")
+	}
+	vars := map[query.Var]bool{}
+	for _, v := range c {
+		vars[v] = true
+	}
+	if !vars["x"] || !vars["w"] || len(c) != 2 {
+		t.Errorf("premier cycle = %v, want {x, w}", c)
+	}
+}
+
+func TestBuildRejectsCompositeModeI(t *testing.T) {
+	q := query.MustParse("R(x, y | z)")
+	if _, err := Build(q); err == nil {
+		t.Fatal("composite-key mode-i atom must be rejected")
+	}
+	// Composite keys are fine on mode-c atoms.
+	if _, err := Build(query.MustParse("R(x | y), T#c(x, y | z)")); err != nil {
+		t.Fatalf("mode-c composite key should be accepted: %v", err)
+	}
+}
+
+func TestReaches(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	m, err := Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Reaches("x", "z") {
+		t.Error("x ->* z via x->y->z")
+	}
+	if m.Reaches("z", "x") {
+		t.Error("z should not reach x")
+	}
+	if !m.Reaches("x", "x") {
+		t.Error("every variable reaches itself")
+	}
+}
+
+func TestShortenNoops(t *testing.T) {
+	q := query.MustParse("R0(x | y), S0(y | x)")
+	m, err := Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Shorten([]query.Var{"x", "y"})
+	if len(c) != 2 {
+		t.Errorf("2-cycles cannot shorten, got %v", c)
+	}
+}
+
+// TestShortenExample15 checks the Section 6.5 normalization on
+// Example 15: the 3-cycle x0, x1, x2 shortens because x0 ∈ X1 =
+// vars(Cq(x1)) = {x1, x2, x0}.
+func TestShortenExample15(t *testing.T) {
+	q := query.MustParse("R(x0 | x1), S(x1 | x2, x0), V(x2 | x0)")
+	m, err := Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Markov cycle x0 -> x1 -> x2 -> x0 exists.
+	for _, e := range [][2]query.Var{{"x0", "x1"}, {"x1", "x2"}, {"x2", "x0"}} {
+		if !m.HasEdge(e[0], e[1]) {
+			t.Fatalf("missing Markov edge %s -> %s", e[0], e[1])
+		}
+	}
+	got := m.Shorten([]query.Var{"x0", "x1", "x2"})
+	if len(got) >= 3 {
+		t.Errorf("cycle should shorten below length 3, got %v", got)
+	}
+	// The paper works with the shorter cycle x0 -> x1 -> x0.
+	g, _ := attack.BuildGraph(q)
+	c := m.PremierCycle(g)
+	if len(c) != 2 {
+		t.Errorf("premier cycle should have length 2 after shortening, got %v", c)
+	}
+}
+
+func TestStringOutput(t *testing.T) {
+	q := query.MustParse("R(x | y)")
+	m, _ := Build(q)
+	if m.String() != "x -> y" {
+		t.Errorf("String = %q", m.String())
+	}
+	empty, _ := Build(query.MustParse(""))
+	if empty.String() != "(no edges)" {
+		t.Errorf("empty String = %q", empty.String())
+	}
+}

@@ -1,0 +1,95 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cqa/internal/db"
+	"cqa/internal/query"
+)
+
+// SatisfiedInstantiations returns, for a repair r and a variable set X,
+// the canonical keys of the valuations theta over X such that
+// r |= theta(q) — the data underlying the frugality preorder of the
+// paper's Section 3.
+func SatisfiedInstantiations(q query.Query, r *db.DB, x query.VarSet) map[string]bool {
+	out := make(map[string]bool)
+	NewIndex(r).Match(q, query.Valuation{}, func(v query.Valuation) bool {
+		out[v.Restrict(x).Key()] = true
+		return true
+	})
+	return out
+}
+
+// PrecedesFrugal reports r1 ⪯X_q r2: every X-instantiation of q
+// satisfied by r1 is satisfied by r2.
+func PrecedesFrugal(q query.Query, x query.VarSet, r1, r2 *db.DB) bool {
+	s1 := SatisfiedInstantiations(q, r1, x)
+	s2 := SatisfiedInstantiations(q, r2, x)
+	for k := range s1 {
+		if !s2[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// FrugalRepairs enumerates the X-frugal repairs of d (the minimal
+// elements of the ⪯X_q preorder) by exhaustive enumeration; it is a
+// reference implementation for validating Lemma 2 on small databases.
+func FrugalRepairs(q query.Query, x query.VarSet, d *db.DB) ([][]db.Fact, error) {
+	const maxRepairs = 1 << 14
+	if d.NumRepairs() > maxRepairs {
+		return nil, fmt.Errorf("match: %g repairs exceed the frugality bound %d", d.NumRepairs(), maxRepairs)
+	}
+	type entry struct {
+		facts []db.Fact
+		sat   map[string]bool
+	}
+	var all []entry
+	d.Repairs(func(facts []db.Fact) bool {
+		r := db.FromFacts(facts...)
+		all = append(all, entry{
+			facts: append([]db.Fact(nil), facts...),
+			sat:   SatisfiedInstantiations(q, r, x),
+		})
+		return true
+	})
+	subset := func(a, b map[string]bool) bool {
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	var out [][]db.Fact
+	for i, e := range all {
+		minimal := true
+		for j, f := range all {
+			if i == j {
+				continue
+			}
+			// f ⪯ e strictly: sat(f) ⊂ sat(e).
+			if subset(f.sat, e.sat) && !subset(e.sat, f.sat) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, e.facts)
+		}
+	}
+	return out, nil
+}
+
+// FormatRepair renders a repair deterministically for diagnostics.
+func FormatRepair(facts []db.Fact) string {
+	parts := make([]string, len(facts))
+	for i, f := range facts {
+		parts[i] = f.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,131 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/query"
+	"cqa/internal/workload"
+)
+
+func TestSatisfiedInstantiations(t *testing.T) {
+	q := query.MustParse("R(x | y)")
+	d := factsDB(t, `
+		R(a | 1)
+		R(b | 2)
+	`)
+	sat := SatisfiedInstantiations(q, d, query.NewVarSet("x"))
+	if len(sat) != 2 || !sat["x=a"] || !sat["x=b"] {
+		t.Errorf("sat = %v", sat)
+	}
+	// Empty X: any embedding yields the single empty instantiation.
+	sat = SatisfiedInstantiations(q, d, query.NewVarSet())
+	if len(sat) != 1 || !sat[""] {
+		t.Errorf("sat for empty X = %v", sat)
+	}
+}
+
+func TestPrecedesFrugal(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	r1 := factsDB(t, "R(a | b)\nS(b | c)")
+	r2 := factsDB(t, "R(a | dead)\nS(b | c)")
+	x := query.NewVarSet("x")
+	if !PrecedesFrugal(q, x, r2, r1) {
+		t.Error("r2 satisfies nothing; it precedes everything")
+	}
+	if PrecedesFrugal(q, x, r1, r2) {
+		t.Error("r1 satisfies x=a which r2 does not")
+	}
+}
+
+func TestFrugalRepairsSimple(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	d := factsDB(t, `
+		R(a | b)
+		R(a | dead)
+		S(b | c)
+	`)
+	frugal, err := FrugalRepairs(q, query.NewVarSet("x"), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The repair choosing R(a|dead) satisfies no instantiation: it is the
+	// unique frugal repair.
+	if len(frugal) != 1 {
+		t.Fatalf("%d frugal repairs", len(frugal))
+	}
+	found := false
+	for _, f := range frugal[0] {
+		if f.String() == "R(a | dead)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("frugal repair should pick R(a | dead): %s", FormatRepair(frugal[0]))
+	}
+}
+
+// TestLemma2 validates Lemma 2 on random instances: every repair
+// satisfies q iff every X-frugal repair satisfies q, for random X.
+func TestLemma2(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	checked := 0
+	for trial := 0; trial < 200 && checked < 120; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 1 + rng.Intn(3)
+		q := workload.RandomQuery(rng, p)
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		if d.NumRepairs() > 1<<10 {
+			continue
+		}
+		// Random X ⊆ vars(q).
+		x := query.NewVarSet()
+		for _, v := range q.Vars().Sorted() {
+			if rng.Intn(2) == 0 {
+				x.Add(v)
+			}
+		}
+		allSat := true
+		d.Repairs(func(facts []db.Fact) bool {
+			if !Satisfies(q, db.FromFacts(facts...)) {
+				allSat = false
+				return false
+			}
+			return true
+		})
+		frugal, err := FrugalRepairs(q, x, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frugalSat := true
+		for _, facts := range frugal {
+			if !Satisfies(q, db.FromFacts(facts...)) {
+				frugalSat = false
+				break
+			}
+		}
+		if allSat != frugalSat {
+			t.Fatalf("Lemma 2 violated: all=%v frugal=%v\nq=%s X=%s\ndb:\n%s",
+				allSat, frugalSat, q, x, d)
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d instances checked", checked)
+	}
+}
+
+func TestFrugalRepairsBound(t *testing.T) {
+	q := query.MustParse("R(x | y)")
+	d := db.New()
+	rel := q.Atoms[0].Rel
+	for i := 0; i < 20; i++ {
+		key := query.Const(string(rune('a' + i)))
+		d.Add(db.Fact{Rel: rel, Args: []query.Const{key, "1"}})
+		d.Add(db.Fact{Rel: rel, Args: []query.Const{key, "2"}})
+	}
+	if _, err := FrugalRepairs(q, query.NewVarSet("x"), d); err == nil {
+		t.Error("2^20 repairs should exceed the bound")
+	}
+}

@@ -1,0 +1,170 @@
+package match
+
+import (
+	"sort"
+
+	"cqa/internal/db"
+	"cqa/internal/query"
+	"cqa/internal/schema"
+)
+
+// GBlock is a generalized block (Definition 7): a maximal set of mode-i
+// facts that agree on their primary-key position. All mode-i facts must be
+// simple-key for gblocks to be well defined. Facts in a gblock share the
+// key constant but may have distinct relation names.
+type GBlock struct {
+	Key    query.Const
+	Blocks []db.Block // one block per relation present, stable order
+}
+
+// Size returns the number of facts in the gblock.
+func (g GBlock) Size() int {
+	n := 0
+	for _, b := range g.Blocks {
+		n += len(b.Facts)
+	}
+	return n
+}
+
+// NumRepairs returns the number of repairs of the gblock: the product of
+// its block sizes.
+func (g GBlock) NumRepairs() int {
+	n := 1
+	for _, b := range g.Blocks {
+		n *= len(b.Facts)
+	}
+	return n
+}
+
+// Repairs enumerates the repairs of the gblock (one fact per block),
+// stopping early when yield returns false. The slice passed to yield is
+// reused; copy to retain.
+func (g GBlock) Repairs(yield func([]db.Fact) bool) {
+	repair := make([]db.Fact, len(g.Blocks))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(g.Blocks) {
+			return yield(repair)
+		}
+		for _, f := range g.Blocks[i].Facts {
+			repair[i] = f
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// GBlocks groups the simple-key mode-i facts of d by their key constant.
+// Gblocks are defined (Definition 7) in the regime where every mode-i atom
+// is simple-key; facts of composite-key mode-i relations are skipped, so
+// in that regime the result covers all mode-i facts.
+func GBlocks(d *db.DB) ([]GBlock, error) {
+	byKey := make(map[query.Const][]db.Block)
+	var order []query.Const
+	for _, name := range d.Relations() {
+		for _, b := range d.BlocksOf(name) {
+			if len(b.Facts) == 0 {
+				continue
+			}
+			rel := b.Facts[0].Rel
+			if rel.Mode == schema.ModeC {
+				continue
+			}
+			if !rel.SimpleKey() {
+				continue
+			}
+			k := b.Facts[0].Args[0]
+			if _, ok := byKey[k]; !ok {
+				order = append(order, k)
+			}
+			byKey[k] = append(byKey[k], b)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]GBlock, 0, len(order))
+	for _, k := range order {
+		out = append(out, GBlock{Key: k, Blocks: byKey[k]})
+	}
+	return out, nil
+}
+
+// GRelevant reports whether the consistent fact set s is grelevant for q
+// in d (Definition 6): s extends to a repair r of d in which some fact of
+// s is relevant. Equivalently, some match theta of q in d has
+// theta(q) ∩ s ≠ ∅ and theta(q) ∪ s consistent.
+func GRelevant(q query.Query, d *db.DB, s []db.Fact) bool {
+	ix := NewIndex(d)
+	return gRelevant(q, ix, s)
+}
+
+func gRelevant(q query.Query, ix *Index, s []db.Fact) bool {
+	chosen := make(map[string]string, len(s)) // block ID -> fact ID
+	for _, f := range s {
+		chosen[f.BlockID()] = f.ID()
+	}
+	for _, f := range s {
+		found := false
+		ix.MatchesWith(q, f, func(v query.Valuation) bool {
+			facts, err := db.GroundQuery(q, v)
+			if err != nil {
+				return true // partial match over a subset query; cannot happen here
+			}
+			if !db.ConsistentSet(facts) {
+				return true
+			}
+			for _, g := range facts {
+				if want, ok := chosen[g.BlockID()]; ok && want != g.ID() {
+					return true // clashes with s inside a shared block
+				}
+			}
+			found = true
+			return false
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// GPurify implements Lemma 17: it repeatedly purifies d and removes every
+// gblock that has a non-grelevant repair (justified by Lemma 16: the
+// non-grelevant repair witnesses that the gblock's blocks can be dropped
+// without changing the certain answer). The result is gpurified relative
+// to q: every repair of every gblock is grelevant.
+//
+// The caller must ensure all mode-i atoms of q and all mode-i facts of d
+// are simple-key; d should already be typed relative to q.
+func GPurify(q query.Query, d *db.DB) (*db.DB, error) {
+	cur := Purify(q, d)
+	for {
+		gblocks, err := GBlocks(cur)
+		if err != nil {
+			return nil, err
+		}
+		ix := NewIndex(cur)
+		var removed []db.Fact
+		for _, g := range gblocks {
+			bad := false
+			g.Repairs(func(s []db.Fact) bool {
+				if !gRelevant(q, ix, s) {
+					bad = true
+					return false
+				}
+				return true
+			})
+			if bad {
+				for _, b := range g.Blocks {
+					removed = append(removed, b.Facts...)
+				}
+			}
+		}
+		if len(removed) == 0 {
+			return cur, nil
+		}
+		cur = Purify(q, cur.Without(removed))
+	}
+}

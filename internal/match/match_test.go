@@ -1,0 +1,287 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/query"
+	"cqa/internal/workload"
+)
+
+func factsDB(t *testing.T, lines string) *db.DB {
+	t.Helper()
+	d, err := db.ParseFacts(nil, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSatisfiesBasic(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	d := factsDB(t, `
+		R(a | b)
+		S(b | c)
+	`)
+	if !Satisfies(q, d) {
+		t.Errorf("expected %s to satisfy %s", d, q)
+	}
+	d2 := factsDB(t, `
+		R(a | b)
+		S(c | c)
+	`)
+	if Satisfies(q, d2) {
+		t.Errorf("expected %s to falsify %s", d2, q)
+	}
+}
+
+func TestMatchWithConstantsAndRepeats(t *testing.T) {
+	q := query.MustParse("R(x | y, 'k'), S(x | x)")
+	d := factsDB(t, `
+		R(a | b, k)
+		R(a | b, notk)
+		S(a | a)
+		S(c | a)
+	`)
+	ms := AllMatches(q, d)
+	if len(ms) != 1 {
+		t.Fatalf("got %d matches, want 1: %v", len(ms), ms)
+	}
+	if ms[0]["x"] != "a" || ms[0]["y"] != "b" {
+		t.Errorf("unexpected match %v", ms[0])
+	}
+}
+
+func TestAllMatchesCountsJoins(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	d := factsDB(t, `
+		R(a | b)
+		R(a2 | b)
+		S(b | c)
+		S(b | c2)
+	`)
+	ms := AllMatches(q, d)
+	if len(ms) != 4 {
+		t.Fatalf("got %d matches, want 4", len(ms))
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		seen[m.Key()] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("matches are not distinct: %v", ms)
+	}
+}
+
+func TestMatchEarlyStop(t *testing.T) {
+	q := query.MustParse("R(x | y)")
+	d := factsDB(t, `
+		R(a | b)
+		R(c | d)
+	`)
+	calls := 0
+	NewIndex(d).Match(q, query.Valuation{}, func(query.Valuation) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("yield called %d times after requesting stop", calls)
+	}
+}
+
+func TestMatchWithPartialBinding(t *testing.T) {
+	q := query.MustParse("R(x | y)")
+	d := factsDB(t, `
+		R(a | b)
+		R(c | d)
+	`)
+	ix := NewIndex(d)
+	var got []string
+	ix.Match(q, query.Valuation{"x": "c"}, func(v query.Valuation) bool {
+		got = append(got, v.Key())
+		return true
+	})
+	if len(got) != 1 || got[0] != "x=c,y=d" {
+		t.Errorf("partial binding gave %v", got)
+	}
+}
+
+// TestPurifyExample1 reproduces Example 1: for q = R('a', y | z) with key
+// position 1, the fact R(d, b, f) is irrelevant and is purified away.
+func TestPurifyExample1(t *testing.T) {
+	q := query.MustParse("R('a' | y, z)")
+	d := factsDB(t, `
+		R(a | b, c)
+		R(d | b, f)
+	`)
+	p := Purify(q, d)
+	if p.Len() != 1 {
+		t.Fatalf("purified db has %d facts, want 1:\n%s", p.Len(), p)
+	}
+	if p.Facts()[0].Args[0] != "a" {
+		t.Errorf("wrong fact kept: %s", p.Facts()[0])
+	}
+	// The relevant-for FD of Example 1 holds on the purified relation:
+	// all matches agree on z given y.
+	ms := AllMatches(q, p)
+	if len(ms) != 1 {
+		t.Fatalf("got %d matches, want 1", len(ms))
+	}
+}
+
+func TestPurifyDropsForeignRelations(t *testing.T) {
+	q := query.MustParse("R(x | y)")
+	d := factsDB(t, `
+		R(a | b)
+		Zother(a | b)
+	`)
+	p := Purify(q, d)
+	if p.Len() != 1 || p.Facts()[0].Rel.Name != "R" {
+		t.Errorf("purify should drop facts of relations outside q: %s", p)
+	}
+}
+
+func TestRelevantFact(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	d := factsDB(t, `
+		R(a | b)
+		R(a | dead)
+		S(b | c)
+	`)
+	rel := d.Facts()[0]
+	dead := d.Facts()[1]
+	if !RelevantFact(q, d, rel) {
+		t.Errorf("%s should be relevant", rel)
+	}
+	if RelevantFact(q, d, dead) {
+		t.Errorf("%s should be irrelevant (no joining S-fact)", dead)
+	}
+}
+
+// TestGBlocksGrouping: gblocks group simple-key mode-i facts by key
+// constant across relations.
+func TestGBlocksGrouping(t *testing.T) {
+	d := factsDB(t, `
+		R(a | 1)
+		R(a | 2)
+		S(a | 3)
+		S(b | 4)
+		T#c(a | 9)
+	`)
+	gbs, err := GBlocks(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gbs) != 2 {
+		t.Fatalf("got %d gblocks, want 2 (keys a and b)", len(gbs))
+	}
+	var ga GBlock
+	for _, g := range gbs {
+		if g.Key == "a" {
+			ga = g
+		}
+	}
+	if ga.Size() != 3 || len(ga.Blocks) != 2 || ga.NumRepairs() != 2 {
+		t.Errorf("gblock a: size=%d blocks=%d repairs=%d", ga.Size(), len(ga.Blocks), ga.NumRepairs())
+	}
+}
+
+// TestGPurifyExample11 reproduces Example 11: q = {R(x|y), S(x|y)} with
+// db = {R(a,1), R(a,2), S(a,1), S(a,2)} is not gpurified; the repair
+// {R(a,1), S(a,2)} of the single gblock is not grelevant, so the whole
+// gblock is removed.
+func TestGPurifyExample11(t *testing.T) {
+	q := query.MustParse("R(x | y), S(x | y)")
+	d := factsDB(t, `
+		R(a | 1)
+		R(a | 2)
+		S(a | 1)
+		S(a | 2)
+	`)
+	s := []db.Fact{d.Facts()[0], d.Facts()[3]} // R(a|1), S(a|2)
+	if GRelevant(q, d, s) {
+		t.Errorf("{R(a,1), S(a,2)} should not be grelevant")
+	}
+	s2 := []db.Fact{d.Facts()[0], d.Facts()[2]} // R(a|1), S(a|1)
+	if !GRelevant(q, d, s2) {
+		t.Errorf("{R(a,1), S(a,1)} should be grelevant")
+	}
+	gp, err := GPurify(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.Len() != 0 {
+		t.Errorf("gpurification should remove the whole gblock, kept:\n%s", gp)
+	}
+}
+
+// TestGPurifyKeepsSupportedBlocks: when every repair of every gblock is
+// grelevant, gpurification is the identity (after purification).
+func TestGPurifyKeepsSupportedBlocks(t *testing.T) {
+	q := query.MustParse("R(x | y), S(x | y)")
+	d := factsDB(t, `
+		R(a | 1)
+		R(a | 2)
+		S(a | 1)
+		S(a | 2)
+		S(a | 3)
+	`)
+	// Repair {R(a,1), S(a,2)} is still not grelevant; removal expected.
+	gp, err := GPurify(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.Len() != 0 {
+		t.Errorf("expected removal, kept:\n%s", gp)
+	}
+
+	d2 := factsDB(t, `
+		R(a | 1)
+		S(a | 1)
+	`)
+	gp2, err := GPurify(q, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp2.Len() != 2 {
+		t.Errorf("consistent matching gblock should survive, got:\n%s", gp2)
+	}
+}
+
+// TestPurifyIsPurified: after purification every remaining fact is
+// relevant (the defining property of "purified relative to q").
+func TestPurifyIsPurified(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 1 + rng.Intn(3)
+		q := workload.RandomQuery(rng, p)
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		pd := Purify(q, d)
+		ix := NewIndex(pd)
+		for _, f := range pd.Facts() {
+			if !ix.Relevant(q, f) {
+				t.Fatalf("purified db keeps irrelevant fact %s for %s\ndb:\n%s", f, q, pd)
+			}
+		}
+	}
+}
+
+// TestPurifyBlockWithIrrelevantFactIsRemoved pins the Lemma 1 subtlety: a
+// block containing an irrelevant fact must be removed wholesale, because
+// a repair can select the irrelevant fact.
+func TestPurifyBlockWithIrrelevantFactIsRemoved(t *testing.T) {
+	q := query.MustParse("R(x | y), S(u | y)")
+	d := factsDB(t, `
+		R(a | 1)
+		R(a | 2)
+		S(u | 1)
+	`)
+	// R(a|2) is irrelevant (no S-fact with y=2), so block R(a|*) goes;
+	// then S(u|1) loses its join partner and goes too.
+	pd := Purify(q, d)
+	if pd.Len() != 0 {
+		t.Errorf("expected empty purified db, got:\n%s", pd)
+	}
+}

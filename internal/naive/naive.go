@@ -1,0 +1,70 @@
+// Package naive implements the brute-force oracle for CERTAINTY(q):
+// literal enumeration of all repairs. It is exponential in the number of
+// non-singleton blocks and exists to ground-truth every other engine on
+// small instances.
+package naive
+
+import (
+	"fmt"
+
+	"cqa/internal/db"
+	"cqa/internal/match"
+	"cqa/internal/query"
+)
+
+// MaxRepairs bounds the number of repairs Certain is willing to enumerate.
+const MaxRepairs = 1 << 22
+
+// Certain reports whether every repair of d satisfies q, by enumerating
+// repairs. It fails when the repair count exceeds MaxRepairs.
+func Certain(q query.Query, d *db.DB) (bool, error) {
+	if n := d.NumRepairs(); n > MaxRepairs {
+		return false, fmt.Errorf("naive: %g repairs exceed the oracle bound %d", n, MaxRepairs)
+	}
+	certain := true
+	d.Repairs(func(facts []db.Fact) bool {
+		r := db.FromFacts(facts...)
+		if !match.Satisfies(q, r) {
+			certain = false
+			return false
+		}
+		return true
+	})
+	return certain, nil
+}
+
+// FalsifyingRepair returns a repair of d that does not satisfy q, or nil
+// when q is certain. Subject to the same MaxRepairs bound.
+func FalsifyingRepair(q query.Query, d *db.DB) ([]db.Fact, error) {
+	if n := d.NumRepairs(); n > MaxRepairs {
+		return nil, fmt.Errorf("naive: %g repairs exceed the oracle bound %d", n, MaxRepairs)
+	}
+	var out []db.Fact
+	d.Repairs(func(facts []db.Fact) bool {
+		r := db.FromFacts(facts...)
+		if !match.Satisfies(q, r) {
+			out = append([]db.Fact(nil), facts...)
+			return false
+		}
+		return true
+	})
+	return out, nil
+}
+
+// CountSatisfyingRepairs returns how many repairs of d satisfy q and the
+// total number of repairs; the counting variant #CERTAINTY(q) restricted
+// to exhaustive enumeration.
+func CountSatisfyingRepairs(q query.Query, d *db.DB) (sat, total int, err error) {
+	if n := d.NumRepairs(); n > MaxRepairs {
+		return 0, 0, fmt.Errorf("naive: %g repairs exceed the oracle bound %d", n, MaxRepairs)
+	}
+	d.Repairs(func(facts []db.Fact) bool {
+		total++
+		r := db.FromFacts(facts...)
+		if match.Satisfies(q, r) {
+			sat++
+		}
+		return true
+	})
+	return sat, total, nil
+}

@@ -1,0 +1,85 @@
+package naive
+
+import (
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/match"
+	"cqa/internal/query"
+)
+
+func factsDB(t *testing.T, lines string) *db.DB {
+	t.Helper()
+	d, err := db.ParseFacts(nil, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCertain(t *testing.T) {
+	q := query.MustParse("R(x | y)")
+	d := factsDB(t, "R(a | 1)\nR(a | 2)")
+	got, err := Certain(q, d)
+	if err != nil || !got {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	q2 := query.MustParse("R(x | '1')")
+	got, err = Certain(q2, d)
+	if err != nil || got {
+		t.Fatalf("repair picking R(a|2) falsifies: got %v, %v", got, err)
+	}
+}
+
+func TestFalsifyingRepair(t *testing.T) {
+	q := query.MustParse("R(x | '1')")
+	d := factsDB(t, "R(a | 1)\nR(a | 2)")
+	repair, err := FalsifyingRepair(q, d)
+	if err != nil || repair == nil {
+		t.Fatalf("repair=%v err=%v", repair, err)
+	}
+	if match.Satisfies(q, db.FromFacts(repair...)) {
+		t.Error("repair satisfies q")
+	}
+	q2 := query.MustParse("R(x | y)")
+	repair, err = FalsifyingRepair(q2, d)
+	if err != nil || repair != nil {
+		t.Errorf("certain query should have no falsifier: %v %v", repair, err)
+	}
+}
+
+func TestCountSatisfyingRepairs(t *testing.T) {
+	q := query.MustParse("R(x | '1')")
+	d := factsDB(t, "R(a | 1)\nR(a | 2)\nR(b | 1)")
+	sat, total, err := CountSatisfyingRepairs(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 {
+		t.Fatalf("total = %d", total)
+	}
+	// Both repairs contain R(b|1), so both satisfy the query.
+	if sat != 2 {
+		t.Fatalf("sat = %d", sat)
+	}
+}
+
+func TestOracleBound(t *testing.T) {
+	d := db.New()
+	rel := factsDB(t, "R(k | v)").Facts()[0].Rel
+	for i := 0; i < 23; i++ {
+		key := query.Const(string(rune('a' + i)))
+		d.Add(db.Fact{Rel: rel, Args: []query.Const{key, "1"}})
+		d.Add(db.Fact{Rel: rel, Args: []query.Const{key, "2"}})
+	}
+	q := query.MustParse("R(x | y)")
+	if _, err := Certain(q, d); err == nil {
+		t.Error("2^23 repairs should exceed the oracle bound")
+	}
+	if _, err := FalsifyingRepair(q, d); err == nil {
+		t.Error("bound should apply to FalsifyingRepair too")
+	}
+	if _, _, err := CountSatisfyingRepairs(q, d); err == nil {
+		t.Error("bound should apply to CountSatisfyingRepairs too")
+	}
+}

@@ -1,0 +1,233 @@
+package ptime
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/attack"
+	"cqa/internal/conp"
+	"cqa/internal/db"
+	"cqa/internal/naive"
+	"cqa/internal/query"
+	"cqa/internal/workload"
+)
+
+func factsDB(t *testing.T, lines string) *db.DB {
+	t.Helper()
+	d, err := db.ParseFacts(nil, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRejectsStrongCycle(t *testing.T) {
+	q := workload.NonKeyJoinQuery()
+	if _, _, err := Certain(q, db.New()); err == nil {
+		t.Fatal("expected error for coNP-complete query")
+	}
+}
+
+func TestQ0Basic(t *testing.T) {
+	q := workload.Q0() // R0(x | y), S0(y | x)
+	// A perfect 2-cycle between blocks: every repair satisfies q.
+	d := factsDB(t, `
+		R0(a | 1)
+		S0(1 | a)
+	`)
+	got, _, err := Certain(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Errorf("single consistent match should be certain")
+	}
+
+	// Two choices for R0(a | *): one joins back, one does not.
+	d2 := factsDB(t, `
+		R0(a | 1)
+		R0(a | 2)
+		S0(1 | a)
+	`)
+	got, _, err = Certain(q, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Errorf("repair picking R0(a | 2) falsifies q")
+	}
+
+	// Both choices join back: certain again.
+	d3 := factsDB(t, `
+		R0(a | 1)
+		R0(a | 2)
+		S0(1 | a)
+		S0(2 | a)
+	`)
+	got, stats, err := Certain(q, d3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Errorf("both repairs of R0(a | *) satisfy q; want certain")
+	}
+	if stats.Dissolutions == 0 {
+		t.Errorf("q0 on this instance should exercise dissolution, stats=%+v", stats)
+	}
+}
+
+func TestQ0CrossBlockCycle(t *testing.T) {
+	q := workload.Q0()
+	// A 4-cycle in G(db): a -> 1 -> b -> 2 -> a. Its strong component has
+	// an elementary cycle of length 4 > 2, so Lemma 16 deletes it and q
+	// is not certain.
+	d := factsDB(t, `
+		R0(a | 1)
+		S0(1 | b)
+		R0(b | 2)
+		S0(2 | a)
+	`)
+	got, _, err := Certain(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := naive.Certain(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("ptime=%v naive=%v", got, want)
+	}
+	if want {
+		t.Fatalf("test setup: expected q0 not certain on the 4-cycle instance")
+	}
+}
+
+func differential(t *testing.T, q query.Query, d *db.DB) {
+	t.Helper()
+	if d.NumRepairs() > 1<<14 {
+		return
+	}
+	want, err := naive.Certain(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Certain(q, d)
+	if err != nil {
+		t.Fatalf("ptime error on %s: %v\ndb:\n%s", q, err, d)
+	}
+	if got != want {
+		t.Fatalf("ptime=%v naive=%v\nq = %s\ndb:\n%s", got, want, q, d)
+	}
+	dpll, _ := conp.Certain(q, d)
+	if dpll != want {
+		t.Fatalf("conp=%v naive=%v\nq = %s\ndb:\n%s", dpll, want, q, d)
+	}
+}
+
+func TestDifferentialQ0(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	q := workload.Q0()
+	for trial := 0; trial < 150; trial++ {
+		d := workload.Q0Instance(rng, 2+rng.Intn(4), 1+rng.Intn(2))
+		differential(t, q, d)
+	}
+	for trial := 0; trial < 150; trial++ {
+		p := workload.DefaultDBParams()
+		p.SeedMatches = 1 + rng.Intn(4)
+		p.Domain = 1 + rng.Intn(3)
+		d := workload.RandomDB(rng, q, p)
+		differential(t, q, d)
+	}
+}
+
+func TestDifferentialCycle3(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	q := workload.CycleQuery(3)
+	for trial := 0; trial < 120; trial++ {
+		p := workload.DefaultDBParams()
+		p.SeedMatches = 1 + rng.Intn(3)
+		p.Domain = 1 + rng.Intn(2)
+		d := workload.RandomDB(rng, q, p)
+		differential(t, q, d)
+	}
+}
+
+func TestDifferentialFigure1Query(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	q := query.MustParse("R(x|y), S(y|z), T(z|x), U(x|u), V(x,u|v)")
+	for trial := 0; trial < 80; trial++ {
+		p := workload.DefaultDBParams()
+		p.SeedMatches = 1 + rng.Intn(3)
+		p.Domain = 1 + rng.Intn(2)
+		p.ExtraPerBlock = 0.5
+		d := workload.RandomDB(rng, q, p)
+		differential(t, q, d)
+	}
+}
+
+func TestDifferentialFigure2Query(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	q := query.MustParse("R(x | y, v), S(y | x), V1#c(v | w), W(w | v), V2#c(w | y)")
+	for trial := 0; trial < 80; trial++ {
+		p := workload.DefaultDBParams()
+		p.SeedMatches = 1 + rng.Intn(3)
+		p.Domain = 1 + rng.Intn(2)
+		p.ExtraPerBlock = 0.5
+		d := workload.RandomDB(rng, q, p)
+		differential(t, q, d)
+	}
+}
+
+func TestDifferentialCompositeKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	q := query.MustParse("R(x, y | z), S(y, z | x)")
+	for trial := 0; trial < 80; trial++ {
+		p := workload.DefaultDBParams()
+		p.SeedMatches = 1 + rng.Intn(3)
+		p.Domain = 1 + rng.Intn(2)
+		p.ExtraPerBlock = 0.5
+		d := workload.RandomDB(rng, q, p)
+		differential(t, q, d)
+	}
+}
+
+// TestDifferentialRandomPTimeQueries fuzzes the full pipeline on random
+// queries classified in P \ FO.
+func TestDifferentialRandomPTimeQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	tried := 0
+	for trial := 0; trial < 4000 && tried < 120; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 2 + rng.Intn(3)
+		p.PConst = 0.05
+		q := workload.RandomQuery(rng, p)
+		g, err := attack.BuildGraph(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.HasCycle() || g.HasStrongCycle() {
+			continue
+		}
+		tried++
+		dp := workload.DefaultDBParams()
+		dp.SeedMatches = 1 + rng.Intn(3)
+		dp.Domain = 1 + rng.Intn(2)
+		d := workload.RandomDB(rng, q, dp)
+		differential(t, q, d)
+	}
+	if tried < 20 {
+		t.Fatalf("only %d P-class random queries generated; loosen the generator", tried)
+	}
+}
+
+// TestPTimeAlsoSolvesFOQueries: the Theorem 4 algorithm covers the FO
+// case too (acyclic graphs have unattacked atoms all the way down).
+func TestPTimeAlsoSolvesFOQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	q := query.MustParse("R(x | y), S(y | z)")
+	for trial := 0; trial < 100; trial++ {
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		differential(t, q, d)
+	}
+}

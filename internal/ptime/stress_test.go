@@ -1,0 +1,82 @@
+package ptime
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/attack"
+	"cqa/internal/naive"
+	"cqa/internal/workload"
+)
+
+func TestStressDissolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	dissolutions, levels := 0, 0
+	q := workload.Q0()
+	for trial := 0; trial < 600; trial++ {
+		p := workload.DefaultDBParams()
+		p.SeedMatches = 1 + rng.Intn(5)
+		p.Domain = 1 + rng.Intn(3)
+		p.ExtraPerBlock = 0.8
+		d := workload.RandomDB(rng, q, p)
+		if d.NumRepairs() > 1<<14 {
+			continue
+		}
+		want, err := naive.Certain(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := Certain(q, d)
+		if err != nil {
+			t.Fatalf("err: %v\ndb:\n%s", err, d)
+		}
+		if got != want {
+			t.Fatalf("ptime=%v naive=%v\ndb:\n%s", got, want, d)
+		}
+		dissolutions += st.Dissolutions
+		levels += st.Levels
+	}
+	t.Logf("total dissolutions=%d levels=%d", dissolutions, levels)
+	if dissolutions == 0 {
+		t.Fatal("dissolution never exercised")
+	}
+}
+
+func TestStressRandomPQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(888))
+	tried, dissolved := 0, 0
+	for trial := 0; trial < 15000 && tried < 250; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 2 + rng.Intn(4)
+		p.PModeC = 0.15
+		q := workload.RandomQuery(rng, p)
+		g, err := attack.BuildGraph(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.HasCycle() || g.HasStrongCycle() {
+			continue
+		}
+		tried++
+		dp := workload.DefaultDBParams()
+		dp.SeedMatches = 1 + rng.Intn(4)
+		dp.Domain = 1 + rng.Intn(2)
+		d := workload.RandomDB(rng, q, dp)
+		if d.NumRepairs() > 1<<13 {
+			continue
+		}
+		want, err := naive.Certain(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := Certain(q, d)
+		if err != nil {
+			t.Fatalf("err on %s: %v\ndb:\n%s", q, err, d)
+		}
+		if got != want {
+			t.Fatalf("ptime=%v naive=%v\nq=%s\ndb:\n%s", got, want, q, d)
+		}
+		dissolved += st.Dissolutions
+	}
+	t.Logf("tried=%d dissolutions=%d", tried, dissolved)
+}

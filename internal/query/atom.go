@@ -1,0 +1,176 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"cqa/internal/schema"
+)
+
+// Atom is an R-atom R(s1, ..., sn) where each si is a variable or a
+// constant and R is a relation name with signature [n, k]. The first k
+// arguments form the primary key (underlined in the paper's notation).
+type Atom struct {
+	Rel  schema.Relation
+	Args []Term
+}
+
+// NewAtom builds an atom and validates that the argument count matches the
+// relation's arity.
+func NewAtom(rel schema.Relation, args ...Term) Atom {
+	if len(args) != rel.Arity {
+		panic(fmt.Sprintf("query: atom %s expects %d arguments, got %d",
+			rel.Name, rel.Arity, len(args)))
+	}
+	return Atom{Rel: rel, Args: args}
+}
+
+// KeyArgs returns the key positions s1, ..., sk.
+func (a Atom) KeyArgs() []Term { return a.Args[:a.Rel.KeyLen] }
+
+// NonKeyArgs returns the non-key positions s(k+1), ..., sn.
+func (a Atom) NonKeyArgs() []Term { return a.Args[a.Rel.KeyLen:] }
+
+// KeyVars returns key(F): the set of variables occurring in the primary key.
+func (a Atom) KeyVars() VarSet {
+	s := make(VarSet)
+	for _, t := range a.KeyArgs() {
+		if t.IsVar() {
+			s.Add(t.Var())
+		}
+	}
+	return s
+}
+
+// Vars returns vars(F): the set of variables occurring anywhere in the atom.
+func (a Atom) Vars() VarSet {
+	s := make(VarSet)
+	for _, t := range a.Args {
+		if t.IsVar() {
+			s.Add(t.Var())
+		}
+	}
+	return s
+}
+
+// NonKeyVars returns the variables occurring at non-key positions.
+func (a Atom) NonKeyVars() VarSet {
+	s := make(VarSet)
+	for _, t := range a.NonKeyArgs() {
+		if t.IsVar() {
+			s.Add(t.Var())
+		}
+	}
+	return s
+}
+
+// HasConstants reports whether any position holds a constant.
+func (a Atom) HasConstants() bool {
+	for _, t := range a.Args {
+		if t.IsConst() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasRepeatedVars reports whether some variable occurs at two or more
+// positions of the atom.
+func (a Atom) HasRepeatedVars() bool {
+	seen := make(VarSet)
+	for _, t := range a.Args {
+		if t.IsVar() {
+			if seen.Has(t.Var()) {
+				return true
+			}
+			seen.Add(t.Var())
+		}
+	}
+	return false
+}
+
+// Ground reports whether the atom contains no variables (i.e. is a fact
+// pattern).
+func (a Atom) Ground() bool {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// Substitute returns the atom with every variable in the valuation's domain
+// replaced by its image; other variables are left untouched.
+func (a Atom) Substitute(v Valuation) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			if c, ok := v[t.Var()]; ok {
+				args[i] = C(c)
+				continue
+			}
+		}
+		args[i] = t
+	}
+	return Atom{Rel: a.Rel, Args: args}
+}
+
+// RenameVars returns the atom with variables renamed through the mapping;
+// variables outside the mapping are left untouched.
+func (a Atom) RenameVars(m map[Var]Var) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			if w, ok := m[t.Var()]; ok {
+				args[i] = V(w)
+				continue
+			}
+		}
+		args[i] = t
+	}
+	return Atom{Rel: a.Rel, Args: args}
+}
+
+// Equal reports structural equality of atoms.
+func (a Atom) Equal(b Atom) bool {
+	if a.Rel != b.Rel || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the atom with the key separated from the non-key part by
+// a bar, e.g. R(x | y) or T#c(x, y | z). The "#c" suffix marks mode c.
+func (a Atom) String() string {
+	var b strings.Builder
+	b.WriteString(a.Rel.Name)
+	if a.Rel.Mode == schema.ModeC {
+		b.WriteString("#c")
+	}
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			if i == a.Rel.KeyLen {
+				b.WriteString(" | ")
+			} else {
+				b.WriteString(", ")
+			}
+		} else if a.Rel.KeyLen == 0 {
+			b.WriteString("| ")
+		}
+		b.WriteString(t.String())
+	}
+	if a.Rel.KeyLen == len(a.Args) && len(a.Args) > 0 {
+		// All positions are key positions; no bar needed, but make it
+		// explicit that the whole tuple is the key.
+		b.WriteString(" |")
+	}
+	b.WriteByte(')')
+	return b.String()
+}

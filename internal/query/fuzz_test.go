@@ -1,0 +1,38 @@
+package query
+
+import "testing"
+
+// FuzzParse exercises the query parser on arbitrary input: it must never
+// panic, and accepted queries must round-trip through their String form.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"R(x | y), S(y | z)",
+		"V(x, u | v)",
+		"T#c(x | z)",
+		"R('a' | y, 42)",
+		"S(y, z |)",
+		"R(x",
+		"",
+		"R(x | y), R(y | z)",
+		"#(",
+		"R(x|y),S( y |z ),T(z|'q u o t e d')",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("accepted query fails validation: %v", err)
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("round trip parse failed for %q -> %q: %v", s, q.String(), err)
+		}
+		if !q.Equal(q2) {
+			t.Fatalf("round trip changed query: %q -> %q -> %q", s, q.String(), q2.String())
+		}
+	})
+}

@@ -1,0 +1,270 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"cqa/internal/schema"
+)
+
+// Parse reads a conjunctive query from a compact textual syntax:
+//
+//	query := atom ("," atom)*
+//	atom  := name ["#c"] "(" terms ["|" terms] ")"
+//	terms := term ("," term)*
+//	term  := identifier            (a variable)
+//	       | "'" characters "'"    (a constant)
+//	       | digits                (a numeric constant)
+//
+// The terms left of the bar form the primary key; the terms right of the
+// bar are the non-key positions. When no bar is present, the first
+// position alone is the key (the simple-key convention). The "#c" suffix
+// marks a mode-c (known consistent) relation. Examples:
+//
+//	R(x | y), S(y | z)                      two simple-key atoms
+//	R(x, y | z)                             composite key {1,2}
+//	V(x | u, v)                             key {1}, non-key {2,3}
+//	T#c(x | z)                              mode-c atom
+//	S(y | 'b')                              constant at a non-key position
+//
+// Parse validates that the result is well formed and self-join-free.
+func Parse(s string) (Query, error) {
+	p := &parser{input: s}
+	q, err := p.parseQuery()
+	if err != nil {
+		return Query{}, err
+	}
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	if !q.SelfJoinFree() {
+		return Query{}, fmt.Errorf("query: %q has a self-join; this library handles self-join-free queries", s)
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; intended for tests and static
+// declarations.
+func MustParse(s string) Query {
+	q, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("query: parse error at byte %d of %q: %s",
+		p.pos, p.input, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && unicode.IsSpace(rune(p.input[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.input) {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *parser) eat(c byte) bool {
+	p.skipSpace()
+	if p.peek() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || ('0' <= c && c <= '9')
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos >= len(p.input) || !isIdentStart(p.input[p.pos]) {
+		return "", p.errf("expected identifier")
+	}
+	for p.pos < len(p.input) && isIdentPart(p.input[p.pos]) {
+		p.pos++
+	}
+	return p.input[start:p.pos], nil
+}
+
+func (p *parser) parseQuery() (Query, error) {
+	var atoms []Atom
+	p.skipSpace()
+	if p.pos == len(p.input) {
+		return NewQuery(), nil
+	}
+	// "{}" is the display form of the empty query; accept it back.
+	if strings.TrimSpace(p.input) == "{}" {
+		return NewQuery(), nil
+	}
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return Query{}, err
+		}
+		atoms = append(atoms, a)
+		p.skipSpace()
+		if p.pos == len(p.input) {
+			break
+		}
+		if !p.eat(',') {
+			return Query{}, p.errf("expected ',' or end of input")
+		}
+	}
+	return NewQuery(atoms...), nil
+}
+
+func (p *parser) parseAtom() (Atom, error) {
+	name, err := p.ident()
+	if err != nil {
+		return Atom{}, err
+	}
+	mode := schema.ModeI
+	if p.eat('#') {
+		m, err := p.ident()
+		if err != nil {
+			return Atom{}, err
+		}
+		switch m {
+		case "c":
+			mode = schema.ModeC
+		case "i":
+			mode = schema.ModeI
+		default:
+			return Atom{}, p.errf("unknown mode %q (want c or i)", m)
+		}
+	}
+	if !p.eat('(') {
+		return Atom{}, p.errf("expected '(' after relation name %s", name)
+	}
+	var args []Term
+	keyLen := -1
+	for {
+		p.skipSpace()
+		if p.peek() == '|' {
+			p.pos++
+			if keyLen >= 0 {
+				return Atom{}, p.errf("two bars in atom %s", name)
+			}
+			keyLen = len(args)
+			p.skipSpace()
+			if p.peek() != ')' {
+				continue
+			}
+			// "R(x, y |)": the whole tuple is the key.
+			p.pos++
+			if len(args) == 0 {
+				return Atom{}, p.errf("atom %s has no arguments", name)
+			}
+			if keyLen == 0 {
+				return Atom{}, p.errf("atom %s has an empty primary key", name)
+			}
+			rel := schema.Relation{Name: name, Arity: len(args), KeyLen: keyLen, Mode: mode}
+			return Atom{Rel: rel, Args: args}, nil
+		}
+		t, err := p.parseTerm()
+		if err != nil {
+			return Atom{}, err
+		}
+		args = append(args, t)
+		p.skipSpace()
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case '|', ')':
+			// handled by the loop head / exit below
+		default:
+			return Atom{}, p.errf("expected ',', '|' or ')' in atom %s", name)
+		}
+		p.skipSpace()
+		if p.peek() == ')' {
+			p.pos++
+			if keyLen < 0 {
+				keyLen = 1 // simple-key convention
+			}
+			if len(args) == 0 {
+				return Atom{}, p.errf("atom %s has no arguments", name)
+			}
+			if keyLen == 0 {
+				return Atom{}, p.errf("atom %s has an empty primary key", name)
+			}
+			rel := schema.Relation{Name: name, Arity: len(args), KeyLen: keyLen, Mode: mode}
+			return Atom{Rel: rel, Args: args}, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	p.skipSpace()
+	c := p.peek()
+	switch {
+	case c == '\'':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.input) && p.input[p.pos] != '\'' {
+			p.pos++
+		}
+		if p.pos >= len(p.input) {
+			return Term{}, p.errf("unterminated constant")
+		}
+		val := p.input[start:p.pos]
+		p.pos++
+		return C(Const(val)), nil
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.pos < len(p.input) && p.input[p.pos] >= '0' && p.input[p.pos] <= '9' {
+			p.pos++
+		}
+		return C(Const(p.input[start:p.pos])), nil
+	case isIdentStart(c):
+		id, err := p.ident()
+		if err != nil {
+			return Term{}, err
+		}
+		return V(Var(id)), nil
+	default:
+		return Term{}, p.errf("expected term")
+	}
+}
+
+// ParseAtomList parses a query but does not reject self-joins; used by
+// tooling that displays arbitrary atom lists.
+func ParseAtomList(s string) (Query, error) {
+	p := &parser{input: s}
+	q, err := p.parseQuery()
+	if err != nil {
+		return Query{}, err
+	}
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// FormatVars renders a slice of variables as "x, y, z".
+func FormatVars(vs []Var) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = string(v)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,237 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cqa/internal/schema"
+)
+
+// Query is a Boolean conjunctive query: a finite set of atoms, all of whose
+// variables are existentially quantified. Atoms are kept in a stable slice
+// for deterministic iteration; the set semantics is enforced by the
+// constructors (no duplicate atoms).
+type Query struct {
+	Atoms []Atom
+}
+
+// NewQuery builds a query from atoms, dropping exact duplicates.
+func NewQuery(atoms ...Atom) Query {
+	q := Query{Atoms: make([]Atom, 0, len(atoms))}
+	for _, a := range atoms {
+		dup := false
+		for _, b := range q.Atoms {
+			if a.Equal(b) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			q.Atoms = append(q.Atoms, a)
+		}
+	}
+	return q
+}
+
+// Len returns the number of atoms |q|.
+func (q Query) Len() int { return len(q.Atoms) }
+
+// Empty reports whether the query has no atoms (the trivially true query).
+func (q Query) Empty() bool { return len(q.Atoms) == 0 }
+
+// Vars returns vars(q), the set of variables occurring in the query.
+func (q Query) Vars() VarSet {
+	s := make(VarSet)
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				s.Add(t.Var())
+			}
+		}
+	}
+	return s
+}
+
+// SelfJoinFree reports whether no relation name occurs in two atoms.
+func (q Query) SelfJoinFree() bool {
+	seen := make(map[string]bool, len(q.Atoms))
+	for _, a := range q.Atoms {
+		if seen[a.Rel.Name] {
+			return false
+		}
+		seen[a.Rel.Name] = true
+	}
+	return true
+}
+
+// AtomWithRel returns the unique atom with the given relation name. For
+// self-join-free queries the atom is unique; for other queries the first
+// occurrence is returned.
+func (q Query) AtomWithRel(name string) (Atom, bool) {
+	for _, a := range q.Atoms {
+		if a.Rel.Name == name {
+			return a, true
+		}
+	}
+	return Atom{}, false
+}
+
+// HasRel reports whether some atom uses the given relation name.
+func (q Query) HasRel(name string) bool {
+	_, ok := q.AtomWithRel(name)
+	return ok
+}
+
+// Remove returns q with the given atom removed (matching by relation name,
+// which identifies atoms uniquely in self-join-free queries).
+func (q Query) Remove(a Atom) Query {
+	out := Query{Atoms: make([]Atom, 0, len(q.Atoms))}
+	removed := false
+	for _, b := range q.Atoms {
+		if !removed && b.Rel.Name == a.Rel.Name && b.Equal(a) {
+			removed = true
+			continue
+		}
+		out.Atoms = append(out.Atoms, b)
+	}
+	return out
+}
+
+// Add returns q extended with the given atoms.
+func (q Query) Add(atoms ...Atom) Query {
+	all := make([]Atom, 0, len(q.Atoms)+len(atoms))
+	all = append(all, q.Atoms...)
+	all = append(all, atoms...)
+	return NewQuery(all...)
+}
+
+// ConsistentPart returns [[q]]: the subquery of atoms whose relation has
+// mode c.
+func (q Query) ConsistentPart() Query {
+	out := Query{}
+	for _, a := range q.Atoms {
+		if a.Rel.Mode == schema.ModeC {
+			out.Atoms = append(out.Atoms, a)
+		}
+	}
+	return out
+}
+
+// InconsistencyCount returns incnt(q): the number of mode-i atoms.
+func (q Query) InconsistencyCount() int {
+	n := 0
+	for _, a := range q.Atoms {
+		if a.Rel.Mode == schema.ModeI {
+			n++
+		}
+	}
+	return n
+}
+
+// Substitute returns q[x -> a] for every binding in the valuation: all
+// occurrences of bound variables are replaced by their constants.
+func (q Query) Substitute(v Valuation) Query {
+	atoms := make([]Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		atoms[i] = a.Substitute(v)
+	}
+	return Query{Atoms: atoms}
+}
+
+// RenameVars returns q with variables renamed through the mapping.
+func (q Query) RenameVars(m map[Var]Var) Query {
+	atoms := make([]Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		atoms[i] = a.RenameVars(m)
+	}
+	return Query{Atoms: atoms}
+}
+
+// Schema returns a schema containing every relation used by the query.
+func (q Query) Schema() *schema.Schema {
+	s := schema.NewSchema()
+	for _, a := range q.Atoms {
+		s.MustAdd(a.Rel)
+	}
+	return s
+}
+
+// Equal reports whether q and r contain exactly the same atoms (as sets).
+func (q Query) Equal(r Query) bool {
+	if len(q.Atoms) != len(r.Atoms) {
+		return false
+	}
+	for _, a := range q.Atoms {
+		found := false
+		for _, b := range r.Atoms {
+			if a.Equal(b) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonical returns a canonical string for the query with atoms sorted by
+// relation name; useful as a memoization key for instantiated queries.
+func (q Query) Canonical() string {
+	parts := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		parts[i] = a.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}
+
+// Validate checks that the query is well formed: valid relation
+// signatures, matching argument counts, and no two atoms sharing a relation
+// name with different signatures.
+func (q Query) Validate() error {
+	s := schema.NewSchema()
+	for _, a := range q.Atoms {
+		if err := a.Rel.Validate(); err != nil {
+			return err
+		}
+		if len(a.Args) != a.Rel.Arity {
+			return fmt.Errorf("query: atom %s has %d arguments, arity is %d",
+				a.Rel.Name, len(a.Args), a.Rel.Arity)
+		}
+		if err := s.Add(a.Rel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FreshVar returns a variable with the given prefix that does not occur in
+// the query.
+func (q Query) FreshVar(prefix Var) Var {
+	used := q.Vars()
+	if !used.Has(prefix) {
+		return prefix
+	}
+	for i := 0; ; i++ {
+		v := Var(fmt.Sprintf("%s%d", prefix, i))
+		if !used.Has(v) {
+			return v
+		}
+	}
+}
+
+// String renders the query as a comma-separated list of atoms in
+// declaration order, e.g. "R(x | y), S(y | z)".
+func (q Query) String() string {
+	if len(q.Atoms) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,86 @@
+package rewrite
+
+import "cqa/internal/query"
+
+// Simplify normalizes a formula without changing its meaning: it drops
+// "∧ true" conjuncts, flattens nested conjunctions, removes empty
+// quantifier prefixes, collapses implications with trivial sides, and
+// propagates constants. Rewriting output becomes exactly the shape the
+// paper prints (Example 5 has no trailing "∧ true").
+func Simplify(f Formula) Formula {
+	switch g := f.(type) {
+	case AndF:
+		var parts []Formula
+		for _, sub := range g.Fs {
+			s := Simplify(sub)
+			switch t := s.(type) {
+			case TrueF:
+				continue
+			case FalseF:
+				return FalseF{}
+			case AndF:
+				parts = append(parts, t.Fs...)
+			default:
+				parts = append(parts, s)
+			}
+		}
+		switch len(parts) {
+		case 0:
+			return TrueF{}
+		case 1:
+			return parts[0]
+		}
+		return AndF{Fs: parts}
+	case ImpliesF:
+		l := Simplify(g.L)
+		r := Simplify(g.R)
+		if _, ok := l.(TrueF); ok {
+			return r
+		}
+		if _, ok := l.(FalseF); ok {
+			return TrueF{}
+		}
+		if _, ok := r.(TrueF); ok {
+			return TrueF{}
+		}
+		return ImpliesF{L: l, R: r}
+	case ExistsF:
+		inner := Simplify(g.F)
+		if len(g.Vars) == 0 {
+			return inner
+		}
+		if _, ok := inner.(FalseF); ok {
+			return FalseF{}
+		}
+		return ExistsF{Vars: g.Vars, F: inner}
+	case ForallF:
+		inner := Simplify(g.F)
+		if len(g.Vars) == 0 {
+			return inner
+		}
+		if _, ok := inner.(TrueF); ok {
+			return TrueF{}
+		}
+		return ForallF{Vars: g.Vars, F: inner}
+	case EqF:
+		if g.L == g.R {
+			return TrueF{}
+		}
+		if g.L.IsConst() && g.R.IsConst() && g.L.Const() != g.R.Const() {
+			return FalseF{}
+		}
+		return g
+	default:
+		return f
+	}
+}
+
+// RewritingPretty returns the rewriting of q after normalization; the
+// preferred form for display.
+func RewritingPretty(q query.Query) (Formula, error) {
+	f, err := Rewriting(q)
+	if err != nil {
+		return nil, err
+	}
+	return Simplify(f), nil
+}

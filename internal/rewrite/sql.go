@@ -1,0 +1,235 @@
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+
+	"cqa/internal/query"
+)
+
+// SQL renders the consistent first-order rewriting of CERTAINTY(q) as a
+// SQL query in the style of Fuxman and Miller's ConQuer system: the
+// returned statement evaluates to a single row (SELECT 1 ...) exactly
+// when every repair of the underlying inconsistent tables satisfies q.
+//
+// Universal quantification compiles to NOT EXISTS with a negated body, so
+// the pattern for one unattacked atom F = R(key | nonkey) reads:
+//
+//	EXISTS (SELECT 1 FROM R r0 WHERE <pattern>
+//	        AND NOT EXISTS (SELECT 1 FROM R r1
+//	                        WHERE r1.key = r0.key
+//	                          AND NOT ( <conditions and nested rewriting> )))
+//
+// Column names are c1, c2, ... by position. The SQL dialect is plain
+// SQL-92; no vendor extensions are needed.
+func SQL(q query.Query) (string, error) {
+	f, err := Rewriting(q)
+	if err != nil {
+		return "", err
+	}
+	f = Simplify(f)
+	var b strings.Builder
+	b.WriteString("SELECT 1 WHERE ")
+	c := &sqlCtx{aliases: map[query.Var]binding{}}
+	c.emit(&b, f, false)
+	return b.String(), nil
+}
+
+// binding locates a variable: table alias + 1-based column.
+type binding struct {
+	alias string
+	col   int
+}
+
+type sqlCtx struct {
+	aliases map[query.Var]binding
+	n       int
+}
+
+func (c *sqlCtx) fresh(rel string) string {
+	c.n++
+	return fmt.Sprintf("%s%d", strings.ToLower(rel[:1]), c.n)
+}
+
+// term renders a term: bound variables as alias.column, constants as
+// quoted literals. Unbound variables cannot occur in a well-formed
+// rewriting (every variable is introduced by the atom that quantifies it).
+func (c *sqlCtx) term(t query.Term) string {
+	if t.IsConst() {
+		return "'" + strings.ReplaceAll(string(t.Const()), "'", "''") + "'"
+	}
+	b, ok := c.aliases[t.Var()]
+	if !ok {
+		return "NULL /* unbound " + string(t.Var()) + " */"
+	}
+	return fmt.Sprintf("%s.c%d", b.alias, b.col)
+}
+
+// emit writes the SQL condition for formula f; negate requests the
+// negated condition (used under NOT EXISTS).
+func (c *sqlCtx) emit(b *strings.Builder, f Formula, negate bool) {
+	switch g := f.(type) {
+	case TrueF:
+		if negate {
+			b.WriteString("1=0")
+		} else {
+			b.WriteString("1=1")
+		}
+	case FalseF:
+		if negate {
+			b.WriteString("1=1")
+		} else {
+			b.WriteString("1=0")
+		}
+	case EqF:
+		op := " = "
+		if negate {
+			op = " <> "
+		}
+		b.WriteString(c.term(g.L) + op + c.term(g.R))
+	case AndF:
+		if len(g.Fs) == 0 {
+			c.emit(b, TrueF{}, negate)
+			return
+		}
+		sep := " AND "
+		if negate {
+			sep = " OR "
+		}
+		for i, sub := range g.Fs {
+			if i > 0 {
+				b.WriteString(sep)
+			}
+			b.WriteString("(")
+			c.emit(b, sub, negate)
+			b.WriteString(")")
+		}
+	case ExistsF:
+		// The rewriting shape guarantees ExistsF bodies start with the
+		// introducing atom; compile to EXISTS(SELECT ... WHERE rest).
+		c.emitQuant(b, g.F, negate, false)
+	case ForallF:
+		c.emitQuant(b, g.F, negate, true)
+	case ImpliesF:
+		// Only occurs as ForallF bodies; handled there. Emit generically:
+		// L -> R == NOT L OR R.
+		if negate {
+			b.WriteString("(")
+			c.emit(b, g.L, false)
+			b.WriteString(") AND (")
+			c.emit(b, g.R, true)
+			b.WriteString(")")
+		} else {
+			b.WriteString("(")
+			c.emit(b, g.L, true)
+			b.WriteString(") OR (")
+			c.emit(b, g.R, false)
+			b.WriteString(")")
+		}
+	case AtomF:
+		// A bare atom outside a quantifier: membership test.
+		alias := c.fresh(g.Atom.Rel.Name)
+		prefix := "EXISTS"
+		if negate {
+			prefix = "NOT EXISTS"
+		}
+		fmt.Fprintf(b, "%s (SELECT 1 FROM %s %s", prefix, g.Atom.Rel.Name, alias)
+		conds := c.atomConds(g.Atom, alias)
+		if len(conds) > 0 {
+			b.WriteString(" WHERE " + strings.Join(conds, " AND "))
+		}
+		b.WriteString(")")
+	default:
+		b.WriteString("1=0 /* unknown formula */")
+	}
+}
+
+// atomConds returns the WHERE conditions equating the rows of alias with
+// the atom's pattern; every variable must already be bound (bare atoms
+// only occur in the rewriting when all their variables are in scope).
+func (c *sqlCtx) atomConds(a query.Atom, alias string) []string {
+	var conds []string
+	for i, t := range a.Args {
+		conds = append(conds, fmt.Sprintf("%s.c%d = %s", alias, i+1, c.term(t)))
+	}
+	return conds
+}
+
+// emitQuant compiles ∃vars(Atom ∧ rest) and ∀vars(Atom → rest). The
+// rewriting construction guarantees these exact shapes.
+func (c *sqlCtx) emitQuant(b *strings.Builder, body Formula, negate, forall bool) {
+	var atom query.Atom
+	var rest Formula
+	switch g := body.(type) {
+	case AndF:
+		if len(g.Fs) > 0 {
+			if af, ok := g.Fs[0].(AtomF); ok {
+				atom = af.Atom
+				rest = AndF{Fs: g.Fs[1:]}
+			}
+		}
+	case ImpliesF:
+		if af, ok := g.L.(AtomF); ok {
+			atom = af.Atom
+			rest = g.R
+		}
+	case AtomF:
+		atom = g.Atom
+		rest = TrueF{}
+	}
+	if atom.Rel.Name == "" {
+		b.WriteString("1=0 /* unsupported quantifier body */")
+		return
+	}
+	alias := c.fresh(atom.Rel.Name)
+	// EXISTS x (A ∧ rest)         -> EXISTS(... WHERE pattern AND rest)
+	// NOT EXISTS x (A ∧ rest)     -> NOT EXISTS(...)
+	// FORALL x (A → rest)         -> NOT EXISTS(... WHERE pattern AND NOT rest)
+	// NOT FORALL x (A → rest)     -> EXISTS(... WHERE pattern AND NOT rest)
+	prefix := "EXISTS"
+	negRest := false
+	if forall != negate {
+		prefix = "NOT EXISTS"
+	}
+	if forall {
+		negRest = true
+	}
+	fmt.Fprintf(b, "%s (SELECT 1 FROM %s %s", prefix, atom.Rel.Name, alias)
+	// Bind this atom's variables for the nested scope.
+	saved := map[query.Var]binding{}
+	var introduced []query.Var
+	conds := []string{}
+	for i, t := range atom.Args {
+		if t.IsConst() {
+			conds = append(conds, fmt.Sprintf("%s.c%d = %s", alias, i+1, c.term(t)))
+			continue
+		}
+		v := t.Var()
+		if old, bound := c.aliases[v]; bound {
+			conds = append(conds, fmt.Sprintf("%s.c%d = %s.c%d", alias, i+1, old.alias, old.col))
+			continue
+		}
+		saved[v] = binding{}
+		introduced = append(introduced, v)
+		c.aliases[v] = binding{alias: alias, col: i + 1}
+	}
+	whereStarted := false
+	if len(conds) > 0 {
+		b.WriteString(" WHERE " + strings.Join(conds, " AND "))
+		whereStarted = true
+	}
+	if _, isTrue := rest.(TrueF); !isTrue || negRest {
+		if whereStarted {
+			b.WriteString(" AND ")
+		} else {
+			b.WriteString(" WHERE ")
+		}
+		b.WriteString("(")
+		c.emit(b, rest, negRest)
+		b.WriteString(")")
+	}
+	b.WriteString(")")
+	for _, v := range introduced {
+		delete(c.aliases, v)
+	}
+}

@@ -1,0 +1,110 @@
+package rewrite
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cqa/internal/query"
+	"cqa/internal/sqlmini"
+	"cqa/internal/workload"
+)
+
+func TestSQLShape(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | 'b')")
+	sql, err := SQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"SELECT 1 WHERE",
+		"EXISTS (SELECT 1 FROM R",
+		"NOT EXISTS (SELECT 1 FROM R",
+		"FROM S",
+		"'b'",
+	} {
+		if !strings.Contains(sql, frag) {
+			t.Errorf("SQL missing %q:\n%s", frag, sql)
+		}
+	}
+	if strings.Count(sql, "(") != strings.Count(sql, ")") {
+		t.Errorf("unbalanced parentheses:\n%s", sql)
+	}
+}
+
+func TestSQLRejectsCyclic(t *testing.T) {
+	if _, err := SQL(workload.Q0()); err == nil {
+		t.Fatal("cyclic attack graph must have no SQL rewriting")
+	}
+}
+
+// TestSQLAgreesWithDirectEvaluator machine-checks the emitted SQL: the
+// sqlmini evaluator must agree with rewrite.Certain on random instances.
+func TestSQLAgreesWithDirectEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	queries := []string{
+		"R(x | y)",
+		"R(x | y), S(y | z)",
+		"R(x | y), S(y | 'b')",
+		"R(x | y, z), S(y | w)",
+		"R1(x | y1), R2(x | y2), R3(x | y3)",
+		"R(x | y), S(y | z), T(y | w)",
+		"R('c' | y), S(y | z)",
+		"V(x, u | v), W(v | z)",
+	}
+	for _, qs := range queries {
+		q := query.MustParse(qs)
+		sql, err := SQL(q)
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		for trial := 0; trial < 40; trial++ {
+			p := workload.DefaultDBParams()
+			p.SeedMatches = 1 + rng.Intn(4)
+			p.Domain = 1 + rng.Intn(3)
+			d := workload.RandomDB(rng, q, p)
+			want, err := Certain(q, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sqlmini.EvalString(sql, d)
+			if err != nil {
+				t.Fatalf("%s: eval error %v\nSQL: %s", qs, err, sql)
+			}
+			if got != want {
+				t.Fatalf("SQL disagrees on %s: sql=%v direct=%v\nSQL: %s\ndb:\n%s",
+					qs, got, want, sql, d)
+			}
+		}
+	}
+}
+
+// TestSQLRandomAcyclicQueries widens the SQL check to random FO queries.
+func TestSQLRandomAcyclicQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	tested := 0
+	for trial := 0; trial < 600 && tested < 80; trial++ {
+		q := acyclicRandomQuery(rng, t)
+		sql, err := SQL(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		want, err := Certain(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sqlmini.EvalString(sql, d)
+		if err != nil {
+			t.Fatalf("eval error on %s: %v\nSQL: %s", q, err, sql)
+		}
+		if got != want {
+			t.Fatalf("SQL disagrees on %s: sql=%v direct=%v\nSQL: %s\ndb:\n%s",
+				q, got, want, sql, d)
+		}
+		tested++
+	}
+	if tested < 40 {
+		t.Fatalf("only %d queries tested", tested)
+	}
+}

@@ -1,0 +1,173 @@
+// Package schema defines relation names with signatures and modes.
+//
+// Following Koutris and Wijsen (PODS 2015), every relation name R has a
+// signature [n, k]: arity n >= 1 and primary key {1, ..., k} with
+// 1 <= k <= n. A relation is simple-key when k = 1. Every relation also
+// carries a mode: mode i ("inconsistent") relations may violate their
+// primary key in an uncertain database, while mode c ("consistent")
+// relations are known to be consistent (Section 6.1 of the paper).
+package schema
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mode distinguishes relations that may be inconsistent (ModeI) from
+// relations known to be consistent (ModeC).
+type Mode int
+
+const (
+	// ModeI marks a relation whose instances may violate the primary key.
+	ModeI Mode = iota
+	// ModeC marks a relation whose instances are known to be consistent.
+	ModeC
+)
+
+// String returns "i" or "c", mirroring the paper's notation.
+func (m Mode) String() string {
+	if m == ModeC {
+		return "c"
+	}
+	return "i"
+}
+
+// Relation is a relation name with signature [Arity, KeyLen] and a mode.
+// Relation is a small value type; two relations are the same if and only if
+// all four fields are equal. Within one schema, names are unique.
+type Relation struct {
+	Name   string
+	Arity  int
+	KeyLen int
+	Mode   Mode
+}
+
+// NewRelation returns a mode-i relation with signature [arity, keyLen].
+// It panics if the signature is invalid; use Validate for error handling.
+func NewRelation(name string, arity, keyLen int) Relation {
+	r := Relation{Name: name, Arity: arity, KeyLen: keyLen, Mode: ModeI}
+	if err := r.Validate(); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// NewConsistent returns a mode-c relation with signature [arity, keyLen].
+func NewConsistent(name string, arity, keyLen int) Relation {
+	r := Relation{Name: name, Arity: arity, KeyLen: keyLen, Mode: ModeC}
+	if err := r.Validate(); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Validate reports whether the relation has a well-formed signature:
+// a nonempty name, arity >= 1, and 1 <= KeyLen <= Arity.
+func (r Relation) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("schema: relation with empty name")
+	}
+	if r.Arity < 1 {
+		return fmt.Errorf("schema: relation %s has arity %d < 1", r.Name, r.Arity)
+	}
+	if r.KeyLen < 1 || r.KeyLen > r.Arity {
+		return fmt.Errorf("schema: relation %s has key length %d outside [1, %d]",
+			r.Name, r.KeyLen, r.Arity)
+	}
+	return nil
+}
+
+// SimpleKey reports whether the primary key consists of a single position.
+func (r Relation) SimpleKey() bool { return r.KeyLen == 1 }
+
+// Consistent reports whether the relation has mode c.
+func (r Relation) Consistent() bool { return r.Mode == ModeC }
+
+// String renders the relation as Name[arity,keyLen] with a "#c" suffix for
+// mode-c relations, e.g. "R[2,1]" or "T#c[3,1]".
+func (r Relation) String() string {
+	suffix := ""
+	if r.Mode == ModeC {
+		suffix = "#c"
+	}
+	return fmt.Sprintf("%s%s[%d,%d]", r.Name, suffix, r.Arity, r.KeyLen)
+}
+
+// Schema is a finite set of relation names, keyed by name. The zero value
+// is not ready to use; call NewSchema.
+type Schema struct {
+	rels map[string]Relation
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{rels: make(map[string]Relation)}
+}
+
+// Add registers a relation. It is an error to register two different
+// relations under the same name; re-registering an identical relation is a
+// no-op.
+func (s *Schema) Add(r Relation) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if old, ok := s.rels[r.Name]; ok {
+		if old != r {
+			return fmt.Errorf("schema: conflicting declarations for %s: %v vs %v", r.Name, old, r)
+		}
+		return nil
+	}
+	s.rels[r.Name] = r
+	return nil
+}
+
+// MustAdd is Add but panics on error; intended for static declarations.
+func (s *Schema) MustAdd(r Relation) {
+	if err := s.Add(r); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the relation registered under name.
+func (s *Schema) Lookup(name string) (Relation, bool) {
+	r, ok := s.rels[name]
+	return r, ok
+}
+
+// Len returns the number of registered relations.
+func (s *Schema) Len() int { return len(s.rels) }
+
+// Relations returns all registered relations sorted by name, for
+// deterministic iteration.
+func (s *Schema) Relations() []Relation {
+	out := make([]Relation, 0, len(s.rels))
+	for _, r := range s.rels {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Clone returns an independent copy of the schema.
+func (s *Schema) Clone() *Schema {
+	c := NewSchema()
+	for _, r := range s.rels {
+		c.rels[r.Name] = r
+	}
+	return c
+}
+
+// FreshName returns a relation name with the given prefix that is not yet
+// registered in the schema. It never returns the prefix itself unless the
+// prefix is free.
+func (s *Schema) FreshName(prefix string) string {
+	if _, ok := s.rels[prefix]; !ok {
+		return prefix
+	}
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s_%d", prefix, i)
+		if _, ok := s.rels[name]; !ok {
+			return name
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package schema
+
+import "testing"
+
+func TestRelationValidate(t *testing.T) {
+	good := Relation{Name: "R", Arity: 3, KeyLen: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid relation rejected: %v", err)
+	}
+	for _, bad := range []Relation{
+		{Name: "", Arity: 1, KeyLen: 1},
+		{Name: "R", Arity: 0, KeyLen: 0},
+		{Name: "R", Arity: 2, KeyLen: 0},
+		{Name: "R", Arity: 2, KeyLen: 3},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid relation %v accepted", bad)
+		}
+	}
+}
+
+func TestNewRelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRelation("R", 1, 2)
+}
+
+func TestModesAndString(t *testing.T) {
+	r := NewRelation("R", 2, 1)
+	c := NewConsistent("T", 2, 1)
+	if r.Consistent() || !c.Consistent() {
+		t.Error("mode accessors wrong")
+	}
+	if r.String() != "R[2,1]" || c.String() != "T#c[2,1]" {
+		t.Errorf("String: %q, %q", r.String(), c.String())
+	}
+	if !r.SimpleKey() || NewRelation("S", 3, 2).SimpleKey() {
+		t.Error("SimpleKey wrong")
+	}
+	if ModeI.String() != "i" || ModeC.String() != "c" {
+		t.Error("Mode.String wrong")
+	}
+}
+
+func TestSchemaAddLookup(t *testing.T) {
+	s := NewSchema()
+	r := NewRelation("R", 2, 1)
+	if err := s.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(r); err != nil {
+		t.Errorf("re-adding identical relation should be fine: %v", err)
+	}
+	if err := s.Add(NewRelation("R", 3, 1)); err == nil {
+		t.Error("conflicting declaration accepted")
+	}
+	got, ok := s.Lookup("R")
+	if !ok || got != r {
+		t.Error("lookup failed")
+	}
+	if _, ok := s.Lookup("Z"); ok {
+		t.Error("phantom relation")
+	}
+	if s.Len() != 1 {
+		t.Error("Len wrong")
+	}
+}
+
+func TestRelationsSorted(t *testing.T) {
+	s := NewSchema()
+	s.MustAdd(NewRelation("Z", 1, 1))
+	s.MustAdd(NewRelation("A", 1, 1))
+	rels := s.Relations()
+	if len(rels) != 2 || rels[0].Name != "A" || rels[1].Name != "Z" {
+		t.Errorf("Relations = %v", rels)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := NewSchema()
+	s.MustAdd(NewRelation("R", 1, 1))
+	c := s.Clone()
+	c.MustAdd(NewRelation("S", 1, 1))
+	if s.Len() != 1 || c.Len() != 2 {
+		t.Error("clone shares state")
+	}
+}
+
+func TestFreshName(t *testing.T) {
+	s := NewSchema()
+	if s.FreshName("T") != "T" {
+		t.Error("free prefix should be returned as-is")
+	}
+	s.MustAdd(NewRelation("T", 1, 1))
+	n := s.FreshName("T")
+	if n == "T" {
+		t.Error("fresh name collides")
+	}
+	if _, ok := s.Lookup(n); ok {
+		t.Error("fresh name already registered")
+	}
+}

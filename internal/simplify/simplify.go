@@ -1,0 +1,406 @@
+// Package simplify implements the syntactic simplifications of Lemma 12
+// and the saturation of Lemma 11 (Koutris & Wijsen, PODS 2015), as joint
+// query/database transformations that preserve the certain answer:
+//
+//  1. typing: constants at variable positions are tagged with the
+//     variable's name, making the database typed relative to q;
+//  2. pattern elimination: repeated variables inside an atom and
+//     constants outside simple-key key positions are projected away
+//     (sound after purification, when every fact matches its pattern);
+//  3. key packing: composite-key mode-i atoms become simple-key via an
+//     injective tuple coding plus consistent Enc/Dec companion relations
+//     that preserve the functional-dependency structure in both
+//     directions;
+//  4. saturation: Lemma 11's T^c(x, z) atoms are added until the query is
+//     saturated (Definition 3).
+//
+// Each step is represented as a Step: the rewritten query plus a database
+// transformer. The pipeline validates its own applicability conditions
+// and reports an error rather than producing an unsound reduction.
+package simplify
+
+import (
+	"fmt"
+	"strings"
+
+	"cqa/internal/attack"
+	"cqa/internal/db"
+	"cqa/internal/fd"
+	"cqa/internal/match"
+	"cqa/internal/query"
+	"cqa/internal/schema"
+)
+
+// Step is one query transformation together with the matching database
+// transformation. TransformDB must be applied to any database that the
+// original query would have been evaluated on (after the preceding steps'
+// transformations).
+type Step struct {
+	Name        string
+	Q           query.Query
+	TransformDB func(d *db.DB) (*db.DB, error)
+}
+
+// Pipeline is a sequence of steps ending in the fully simplified query.
+type Pipeline struct {
+	Input query.Query
+	Steps []Step
+}
+
+// Final returns the query produced by the last step (or the input when no
+// steps were needed).
+func (p *Pipeline) Final() query.Query {
+	if len(p.Steps) == 0 {
+		return p.Input
+	}
+	return p.Steps[len(p.Steps)-1].Q
+}
+
+// Apply runs every step's database transformation in order.
+func (p *Pipeline) Apply(d *db.DB) (*db.DB, error) {
+	cur := d
+	for _, s := range p.Steps {
+		next, err := s.TransformDB(cur)
+		if err != nil {
+			return nil, fmt.Errorf("simplify: step %s: %w", s.Name, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// typeTag builds the typed constant for value c at a position whose query
+// term is the variable v.
+func typeTag(v query.Var, c query.Const) query.Const {
+	return query.Const(string(v) + ":" + string(c))
+}
+
+// TypeDB makes a purified database typed relative to q: every constant at
+// a variable position is prefixed with the variable's name, so the pools
+// of distinct variables become disjoint (the paper's type(x) convention).
+// Constants at constant positions are left alone; purification guarantees
+// they match the query constant. The mapping is injective per position,
+// so blocks and embeddings transfer bijectively and the certain answer is
+// unchanged.
+func TypeDB(q query.Query, d *db.DB) (*db.DB, error) {
+	out := db.New()
+	for _, f := range d.Facts() {
+		atom, ok := q.AtomWithRel(f.Rel.Name)
+		if !ok {
+			return nil, fmt.Errorf("fact %s has no atom in %s (purify first)", f, q)
+		}
+		args := make([]query.Const, len(f.Args))
+		for i, t := range atom.Args {
+			if t.IsVar() {
+				args[i] = typeTag(t.Var(), f.Args[i])
+			} else {
+				if t.Const() != f.Args[i] {
+					return nil, fmt.Errorf("fact %s does not match pattern %s (purify first)", f, atom)
+				}
+				args[i] = f.Args[i]
+			}
+		}
+		out.Add(db.Fact{Rel: f.Rel, Args: args})
+	}
+	return out, nil
+}
+
+// ElimPatterns removes repeated variables inside atoms and constants
+// outside the key position of simple-key atoms, by projecting the
+// offending positions away. Sound only on purified databases, where every
+// fact matches its atom's pattern: the projection is then a bijection on
+// facts that preserves blocks.
+func ElimPatterns(q query.Query) (Step, bool) {
+	type drop struct {
+		rel      string
+		keep     []int // positions kept, in order
+		newRel   schema.Relation
+		newArgs  []query.Term
+		original schema.Relation
+	}
+	var drops []drop
+	newAtoms := make([]query.Atom, 0, q.Len())
+	changed := false
+	for _, a := range q.Atoms {
+		keep := keptPositions(a)
+		if len(keep) == len(a.Args) {
+			newAtoms = append(newAtoms, a)
+			continue
+		}
+		changed = true
+		newKeyLen := 0
+		var newArgs []query.Term
+		for _, p := range keep {
+			if p < a.Rel.KeyLen {
+				newKeyLen++
+			}
+			newArgs = append(newArgs, a.Args[p])
+		}
+		if newKeyLen == 0 {
+			// The whole key was constants; keep the first key position so
+			// the signature stays valid (a constant key of a simple-key
+			// atom is allowed by Lemma 12).
+			keep = append([]int{0}, keep...)
+			newArgs = append([]query.Term{a.Args[0]}, newArgs...)
+			newKeyLen = 1
+		}
+		rel := schema.Relation{
+			Name:   a.Rel.Name + "_p",
+			Arity:  len(keep),
+			KeyLen: newKeyLen,
+			Mode:   a.Rel.Mode,
+		}
+		drops = append(drops, drop{rel: a.Rel.Name, keep: keep, newRel: rel, original: a.Rel})
+		newAtoms = append(newAtoms, query.Atom{Rel: rel, Args: newArgs})
+	}
+	if !changed {
+		return Step{}, false
+	}
+	q2 := query.NewQuery(newAtoms...)
+	byRel := make(map[string]drop)
+	for _, dr := range drops {
+		byRel[dr.rel] = dr
+	}
+	step := Step{
+		Name: "elim-patterns",
+		Q:    q2,
+		TransformDB: func(d *db.DB) (*db.DB, error) {
+			out := db.New()
+			for _, f := range d.Facts() {
+				dr, ok := byRel[f.Rel.Name]
+				if !ok {
+					out.Add(f)
+					continue
+				}
+				args := make([]query.Const, len(dr.keep))
+				for i, p := range dr.keep {
+					args[i] = f.Args[p]
+				}
+				out.Add(db.Fact{Rel: dr.newRel, Args: args})
+			}
+			return out, nil
+		},
+	}
+	return step, true
+}
+
+// keptPositions returns the argument positions to keep for an atom: the
+// first occurrence of each variable, and constants only when they sit at
+// the key position of a simple-key atom (position 0 with KeyLen 1) —
+// every other constant position is redundant after purification.
+func keptPositions(a query.Atom) []int {
+	var keep []int
+	seen := make(query.VarSet)
+	for p, t := range a.Args {
+		if t.IsVar() {
+			if seen.Has(t.Var()) {
+				continue
+			}
+			seen.Add(t.Var())
+			keep = append(keep, p)
+			continue
+		}
+		if p == 0 && a.Rel.KeyLen == 1 {
+			keep = append(keep, p)
+		}
+	}
+	return keep
+}
+
+// packConst is the injective tuple coding used by key packing. The
+// relation name is part of the coding so that two relations with the same
+// key tuple produce distinct constants — the fresh variables u of
+// different packed atoms must have disjoint types.
+func packConst(rel string, vals []query.Const) query.Const {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strings.ReplaceAll(string(v), "~", "~~")
+	}
+	return query.Const("<" + rel + ":" + strings.Join(parts, "~,") + ">")
+}
+
+// PackCompositeKeys replaces every composite-key mode-i atom
+// R(x1, ..., xk | ȳ) (all-variable, repeat-free key) with the simple-key
+// atom R'(u | x̄, ȳ) plus consistent companions Enc^c(x̄ | u) and
+// Dec^c(u | x̄), where u is fresh. On the database side, R(ā, b̄) maps to
+// R'(⟨ā⟩ | ā, b̄) with Enc(ā | ⟨ā⟩) and Dec(⟨ā⟩ | ā); the coding ⟨·⟩ is
+// injective, so Enc and Dec are genuinely consistent and the FDs
+// x̄ -> u and u -> x̄ hold, preserving the attack structure (mode-c atoms
+// never attack).
+func PackCompositeKeys(q query.Query) (Step, bool, error) {
+	type pack struct {
+		newRel, encRel, decRel schema.Relation
+		k                      int
+	}
+	packs := make(map[string]pack)
+	newAtoms := make([]query.Atom, 0, q.Len())
+	used := q.Vars()
+	changed := false
+	for _, a := range q.Atoms {
+		if a.Rel.Mode == schema.ModeC || a.Rel.SimpleKey() {
+			newAtoms = append(newAtoms, a)
+			continue
+		}
+		for _, t := range a.KeyArgs() {
+			if t.IsConst() {
+				return Step{}, false, fmt.Errorf("pack: atom %s has a constant in a composite key; run ElimPatterns first", a)
+			}
+		}
+		if a.HasRepeatedVars() {
+			return Step{}, false, fmt.Errorf("pack: atom %s has repeated variables; run ElimPatterns first", a)
+		}
+		changed = true
+		u := query.Var("u_" + a.Rel.Name)
+		for used.Has(u) {
+			u += "'"
+		}
+		used.Add(u)
+		k := a.Rel.KeyLen
+		newRel := schema.Relation{Name: a.Rel.Name + "_k", Arity: a.Rel.Arity + 1, KeyLen: 1, Mode: schema.ModeI}
+		encRel := schema.Relation{Name: a.Rel.Name + "_enc", Arity: k + 1, KeyLen: k, Mode: schema.ModeC}
+		decRel := schema.Relation{Name: a.Rel.Name + "_dec", Arity: k + 1, KeyLen: 1, Mode: schema.ModeC}
+		packs[a.Rel.Name] = pack{newRel: newRel, encRel: encRel, decRel: decRel, k: k}
+
+		mainArgs := append([]query.Term{query.V(u)}, a.Args...)
+		encArgs := append(append([]query.Term{}, a.KeyArgs()...), query.V(u))
+		decArgs := append([]query.Term{query.V(u)}, a.KeyArgs()...)
+		newAtoms = append(newAtoms,
+			query.Atom{Rel: newRel, Args: mainArgs},
+			query.Atom{Rel: encRel, Args: encArgs},
+			query.Atom{Rel: decRel, Args: decArgs},
+		)
+	}
+	if !changed {
+		return Step{}, false, nil
+	}
+	q2 := query.NewQuery(newAtoms...)
+	step := Step{
+		Name: "pack-keys",
+		Q:    q2,
+		TransformDB: func(d *db.DB) (*db.DB, error) {
+			out := db.New()
+			for _, f := range d.Facts() {
+				p, ok := packs[f.Rel.Name]
+				if !ok {
+					out.Add(f)
+					continue
+				}
+				key := f.Args[:p.k]
+				u := packConst(f.Rel.Name, key)
+				mainArgs := append([]query.Const{u}, f.Args...)
+				encArgs := append(append([]query.Const{}, key...), u)
+				decArgs := append([]query.Const{u}, key...)
+				out.Add(db.Fact{Rel: p.newRel, Args: mainArgs})
+				out.Add(db.Fact{Rel: p.encRel, Args: encArgs})
+				out.Add(db.Fact{Rel: p.decRel, Args: decArgs})
+			}
+			return out, nil
+		},
+	}
+	return step, true, nil
+}
+
+// IsSaturated reports whether q is saturated (Definition 3): whenever
+// K(q) |= x -> z and K([[q]]) does not, some atom F with
+// K(q) |= x -> key(F) attacks x or z.
+func IsSaturated(q query.Query) (bool, error) {
+	x, z, err := unsaturatedPair(q)
+	if err != nil {
+		return false, err
+	}
+	return x == "" && z == "", nil
+}
+
+// unsaturatedPair returns a witness (x, z) for non-saturation, or empty
+// variables when q is saturated.
+func unsaturatedPair(q query.Query) (query.Var, query.Var, error) {
+	g, err := attack.BuildGraph(q)
+	if err != nil {
+		return "", "", err
+	}
+	kq := fd.K(q)
+	kc := fd.K(q.ConsistentPart())
+	vars := q.Vars().Sorted()
+	for _, x := range vars {
+		closureQ := kq.Closure(query.NewVarSet(x))
+		closureC := kc.Closure(query.NewVarSet(x))
+		for _, z := range vars {
+			if !closureQ.Has(z) || closureC.Has(z) {
+				continue
+			}
+			// Some F with K(q) |= x -> key(F) must attack x or z.
+			witnessed := false
+			for i, a := range q.Atoms {
+				if !a.KeyVars().SubsetOf(closureQ) {
+					continue
+				}
+				if g.AttacksVar(i, x) || g.AttacksVar(i, z) {
+					witnessed = true
+					break
+				}
+			}
+			if !witnessed {
+				return x, z, nil
+			}
+		}
+	}
+	return "", "", nil
+}
+
+// Saturate applies Lemma 11 until q is saturated: for each witness pair
+// (x, z) it adds a fresh atom T^c(x | z). The database transformation
+// inserts T(θ(x) | θ(z)) for every embedding θ of the current query; under
+// Lemma 11's preconditions this projection is consistent — the
+// transformer verifies consistency and fails otherwise rather than emit
+// an illegal instance.
+func Saturate(q query.Query) ([]Step, error) {
+	var steps []Step
+	cur := q
+	for i := 0; ; i++ {
+		x, z, err := unsaturatedPair(cur)
+		if err != nil {
+			return nil, err
+		}
+		if x == "" && z == "" {
+			return steps, nil
+		}
+		name := fmt.Sprintf("Tsat%d", i)
+		for cur.HasRel(name) {
+			name += "x"
+		}
+		rel := schema.Relation{Name: name, Arity: 2, KeyLen: 1, Mode: schema.ModeC}
+		atom := query.NewAtom(rel, query.V(x), query.V(z))
+		qBefore := cur
+		next := cur.Add(atom)
+		steps = append(steps, Step{
+			Name: "saturate-" + name,
+			Q:    next,
+			TransformDB: func(d *db.DB) (*db.DB, error) {
+				out := d.Clone()
+				seen := make(map[query.Const]query.Const)
+				ok := true
+				match.NewIndex(d).Match(qBefore, query.Valuation{}, func(v query.Valuation) bool {
+					a, b := v[x], v[z]
+					if prev, dup := seen[a]; dup {
+						if prev != b {
+							ok = false
+							return false
+						}
+						return true
+					}
+					seen[a] = b
+					out.Add(db.Fact{Rel: rel, Args: []query.Const{a, b}})
+					return true
+				})
+				if !ok {
+					return nil, fmt.Errorf("saturation projection %s(%s | %s) is inconsistent; Lemma 11 preconditions violated", name, x, z)
+				}
+				return out, nil
+			},
+		})
+		cur = next
+		if i > 2*len(q.Vars())*len(q.Vars())+4 {
+			return nil, fmt.Errorf("saturation did not converge on %s", q)
+		}
+	}
+}

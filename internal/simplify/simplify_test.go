@@ -1,0 +1,334 @@
+package simplify
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/attack"
+	"cqa/internal/db"
+	"cqa/internal/match"
+	"cqa/internal/naive"
+	"cqa/internal/query"
+	"cqa/internal/schema"
+	"cqa/internal/workload"
+)
+
+func factsDB(t *testing.T, lines string) *db.DB {
+	t.Helper()
+	d, err := db.ParseFacts(nil, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestTypeDB(t *testing.T) {
+	q := query.MustParse("R(x | y, 'k')")
+	d := factsDB(t, "R(a | b, k)")
+	td, err := TypeDB(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := td.Facts()[0]
+	if f.Args[0] != "x:a" || f.Args[1] != "y:b" || f.Args[2] != "k" {
+		t.Errorf("typed fact = %s", f)
+	}
+	// Non-matching constant must error (unpurified input).
+	if _, err := TypeDB(q, factsDB(t, "R(a | b, wrong)")); err == nil {
+		t.Error("pattern mismatch not detected")
+	}
+	// Unknown relation must error.
+	if _, err := TypeDB(q, factsDB(t, "Z(a | b)")); err == nil {
+		t.Error("foreign relation not detected")
+	}
+}
+
+func TestTypeDBPreservesCertainty(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 150; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 1 + rng.Intn(3)
+		q := workload.RandomQuery(rng, p)
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		pd := match.Purify(q, d)
+		if pd.NumRepairs() > 1<<12 {
+			continue
+		}
+		td, err := TypeDB(q, pd)
+		if err != nil {
+			t.Fatalf("TypeDB on purified db: %v\nq=%s\ndb:\n%s", err, q, pd)
+		}
+		want, err := naive.Certain(q, pd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := naive.Certain(q, td)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("typing changed certainty: %v -> %v\nq=%s", want, got, q)
+		}
+	}
+}
+
+func TestElimPatternsRepeatedVar(t *testing.T) {
+	q := query.MustParse("R(x | y, x)")
+	step, changed := ElimPatterns(q)
+	if !changed {
+		t.Fatal("expected a change")
+	}
+	a := step.Q.Atoms[0]
+	if a.Rel.Arity != 2 || a.HasRepeatedVars() {
+		t.Errorf("rewritten atom = %s", a)
+	}
+	d := factsDB(t, "R(a | b, a)")
+	nd, err := step.TransformDB(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.Len() != 1 || len(nd.Facts()[0].Args) != 2 {
+		t.Errorf("projected db:\n%s", nd)
+	}
+}
+
+func TestElimPatternsConstants(t *testing.T) {
+	// Constant at non-key of a simple-key atom: projected away.
+	q := query.MustParse("R(x | 'c', y)")
+	step, changed := ElimPatterns(q)
+	if !changed {
+		t.Fatal("expected change")
+	}
+	if step.Q.Atoms[0].HasConstants() {
+		t.Errorf("constants remain: %s", step.Q)
+	}
+	// Constant key of a simple-key atom is allowed to stay.
+	q2 := query.MustParse("R('c' | y)")
+	if _, changed := ElimPatterns(q2); changed {
+		t.Error("constant simple-key should be untouched")
+	}
+	// Constant inside a composite key with variables: dropped from key.
+	q3 := query.MustParse("R(x, 'c' | y)")
+	step3, changed := ElimPatterns(q3)
+	if !changed {
+		t.Fatal("expected change")
+	}
+	if step3.Q.Atoms[0].Rel.KeyLen != 1 {
+		t.Errorf("key should shrink to {x}: %s", step3.Q)
+	}
+	// All-constant key keeps one position.
+	q4 := query.MustParse("R('a', 'b' | y)")
+	step4, changed := ElimPatterns(q4)
+	if !changed {
+		t.Fatal("expected change")
+	}
+	r4 := step4.Q.Atoms[0].Rel
+	if r4.KeyLen != 1 || r4.Arity != 2 {
+		t.Errorf("signature [%d,%d], want [2,1]: %s", r4.Arity, r4.KeyLen, step4.Q)
+	}
+}
+
+func TestElimPatternsPreservesCertainty(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 200; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 1 + rng.Intn(3)
+		p.PConst = 0.25
+		q := workload.RandomQuery(rng, p)
+		step, changed := ElimPatterns(q)
+		if !changed {
+			continue
+		}
+		d := match.Purify(q, workload.RandomDB(rng, q, workload.DefaultDBParams()))
+		if d.NumRepairs() > 1<<12 {
+			continue
+		}
+		nd, err := step.TransformDB(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := naive.Certain(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := naive.Certain(step.Q, nd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("elim changed certainty %v -> %v\nq=%s -> %s\ndb:\n%s\nnew:\n%s",
+				want, got, q, step.Q, d, nd)
+		}
+	}
+}
+
+func TestPackCompositeKeys(t *testing.T) {
+	q := query.MustParse("R(x, y | z), S(y, z | x)")
+	step, changed, err := PackCompositeKeys(q)
+	if err != nil || !changed {
+		t.Fatalf("pack: %v %v", changed, err)
+	}
+	for _, a := range step.Q.Atoms {
+		if a.Rel.Mode == schema.ModeI && !a.Rel.SimpleKey() {
+			t.Errorf("mode-i atom %s still composite", a)
+		}
+	}
+	d := factsDB(t, `
+		R(a, b | c)
+		S(b, c | a)
+	`)
+	nd, err := step.TransformDB(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each original fact becomes main + enc + dec.
+	if nd.Len() != 6 {
+		t.Errorf("transformed db has %d facts, want 6:\n%s", nd.Len(), nd)
+	}
+	if !nd.ConsistentFor() {
+		t.Errorf("enc/dec must be consistent:\n%s", nd)
+	}
+}
+
+func TestPackPreservesClassification(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 400; trial++ {
+		p := workload.DefaultQueryParams()
+		p.Atoms = 1 + rng.Intn(4)
+		p.PConst = 0
+		q := workload.RandomQuery(rng, p)
+		if func() bool {
+			for _, a := range q.Atoms {
+				if a.HasRepeatedVars() {
+					return true
+				}
+			}
+			return false
+		}() {
+			continue
+		}
+		step, changed, err := PackCompositeKeys(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !changed {
+			continue
+		}
+		before, _, err := attack.Classify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, _, err := attack.Classify(step.Q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Lemma 12 only promises strong-cycle-freeness is preserved, but
+		// our Enc/Dec construction is designed to preserve the whole
+		// class; flag any deviation for inspection.
+		if (before == attack.CoNPComplete) != (after == attack.CoNPComplete) {
+			t.Fatalf("packing moved the coNP boundary: %v -> %v\n%s -> %s",
+				before, after, q, step.Q)
+		}
+		if before != attack.CoNPComplete && after == attack.CoNPComplete {
+			t.Fatalf("packing introduced a strong cycle: %s -> %s", q, step.Q)
+		}
+	}
+}
+
+func TestPackRejectsPatterns(t *testing.T) {
+	if _, _, err := PackCompositeKeys(query.MustParse("R(x, 'c' | y)")); err == nil {
+		t.Error("constant in composite key should be rejected")
+	}
+	if _, _, err := PackCompositeKeys(query.MustParse("R(x, y | x)")); err == nil {
+		t.Error("repeated variable should be rejected")
+	}
+}
+
+// TestIsSaturatedExample6 reproduces Definition 3 on Example 6: q is not
+// saturated; q' = q ∪ {S^c(y | z)} is.
+func TestIsSaturatedExample6(t *testing.T) {
+	q := query.MustParse("R(x | y), S1(y | z), S2(y | z), T#c(x, z | w), U(w | x)")
+	sat, err := IsSaturated(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat {
+		t.Error("Example 6 query is not saturated")
+	}
+	q2 := q.Add(query.NewAtom(schema.NewConsistent("Ssat", 2, 1), query.V("y"), query.V("z")))
+	sat2, err := IsSaturated(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat2 {
+		t.Error("Example 6 query plus S^c(y|z) is saturated")
+	}
+}
+
+func TestSaturateProducesSaturated(t *testing.T) {
+	q := query.MustParse("R(x | y), S1(y | z), S2(y | z), T#c(x, z | w), U(w | x)")
+	steps, err := Saturate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("expected at least one saturation step")
+	}
+	final := steps[len(steps)-1].Q
+	sat, err := IsSaturated(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat {
+		t.Errorf("Saturate result not saturated: %s", final)
+	}
+	// Saturation adds only mode-c atoms: incnt unchanged.
+	if final.InconsistencyCount() != q.InconsistencyCount() {
+		t.Error("saturation changed incnt")
+	}
+}
+
+func TestPipelineApply(t *testing.T) {
+	q := query.MustParse("R(x | y, x)")
+	step, _ := ElimPatterns(q)
+	p := &Pipeline{Input: q, Steps: []Step{step}}
+	if !p.Final().Equal(step.Q) {
+		t.Error("Final wrong")
+	}
+	d := factsDB(t, "R(a | b, a)")
+	nd, err := p.Apply(d)
+	if err != nil || nd.Len() != 1 {
+		t.Errorf("Apply: %v %v", nd, err)
+	}
+	empty := &Pipeline{Input: q}
+	if !empty.Final().Equal(q) {
+		t.Error("empty pipeline Final")
+	}
+}
+
+func TestNormalizeQuery(t *testing.T) {
+	q := query.MustParse("R(x, y | z, x), S(y | z)")
+	n, err := NormalizeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range n.Atoms {
+		if a.Rel.Mode == schema.ModeI && !a.Rel.SimpleKey() {
+			t.Errorf("mode-i atom %s not simple-key after normalization", a)
+		}
+		if a.HasRepeatedVars() {
+			t.Errorf("atom %s still has repeated variables", a)
+		}
+	}
+	sat, err := IsSaturated(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat {
+		t.Errorf("normalized query not saturated: %s", n)
+	}
+	// incnt never grows: saturation adds only mode-c atoms.
+	if n.InconsistencyCount() > q.InconsistencyCount()+1 {
+		t.Errorf("incnt grew unexpectedly: %d -> %d", q.InconsistencyCount(), n.InconsistencyCount())
+	}
+}

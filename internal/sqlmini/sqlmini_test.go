@@ -1,0 +1,127 @@
+package sqlmini
+
+import (
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/query"
+	"cqa/internal/schema"
+)
+
+func testDB(t *testing.T) *db.DB {
+	t.Helper()
+	d, err := db.ParseFacts(nil, `
+		R(a | b)
+		R(a | c)
+		S(b | z)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestExistsBasic(t *testing.T) {
+	d := testDB(t)
+	got, err := EvalString("SELECT 1 WHERE EXISTS (SELECT 1 FROM R r1)", d)
+	if err != nil || !got {
+		t.Fatalf("%v %v", got, err)
+	}
+	got, err = EvalString("SELECT 1 WHERE EXISTS (SELECT 1 FROM Z z1)", d)
+	if err != nil || got {
+		t.Fatalf("empty relation: %v %v", got, err)
+	}
+	got, err = EvalString("SELECT 1 WHERE NOT EXISTS (SELECT 1 FROM Z z1)", d)
+	if err != nil || !got {
+		t.Fatalf("negated: %v %v", got, err)
+	}
+}
+
+func TestWhereConditions(t *testing.T) {
+	d := testDB(t)
+	cases := []struct {
+		sql  string
+		want bool
+	}{
+		{"SELECT 1 WHERE EXISTS (SELECT 1 FROM R r1 WHERE r1.c2 = 'b')", true},
+		{"SELECT 1 WHERE EXISTS (SELECT 1 FROM R r1 WHERE r1.c2 = 'zzz')", false},
+		{"SELECT 1 WHERE EXISTS (SELECT 1 FROM R r1 WHERE r1.c2 <> 'b')", true},
+		{"SELECT 1 WHERE EXISTS (SELECT 1 FROM R r1 WHERE r1.c1 = 'a' AND r1.c2 = 'c')", true},
+		{"SELECT 1 WHERE EXISTS (SELECT 1 FROM R r1 WHERE r1.c1 = 'zzz' OR r1.c2 = 'c')", true},
+		{"SELECT 1 WHERE 1=1", true},
+		{"SELECT 1 WHERE 1=0", false},
+		{"SELECT 1 WHERE (1=1) AND (1=0)", false},
+		{"SELECT 1 WHERE (1=1) OR (1=0)", true},
+	}
+	for _, c := range cases {
+		got, err := EvalString(c.sql, d)
+		if err != nil {
+			t.Errorf("%s: %v", c.sql, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.sql, got, c.want)
+		}
+	}
+}
+
+func TestNestedCorrelation(t *testing.T) {
+	d := testDB(t)
+	// Every R row with key 'a' joins S on c2: false because R(a|c) has no
+	// S(c | ...).
+	sql := `SELECT 1 WHERE EXISTS (SELECT 1 FROM R r1 WHERE r1.c1 = 'a'
+	        AND NOT EXISTS (SELECT 1 FROM R r2 WHERE r2.c1 = r1.c1
+	            AND NOT (EXISTS (SELECT 1 FROM S s1 WHERE s1.c1 = r2.c2))))`
+	got, err := EvalString(sql, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("R(a|c) has no S partner; statement should be false")
+	}
+	d.Add(db.Fact{Rel: d.FactsOf("S")[0].Rel, Args: []query.Const{"c", "w"}})
+	got, err = EvalString(sql, d)
+	if err != nil || !got {
+		t.Fatalf("after adding S(c|w): %v %v", got, err)
+	}
+}
+
+func TestQuotedLiteralEscape(t *testing.T) {
+	d := db.New()
+	rel := schema.NewRelation("R", 2, 1)
+	d.Add(db.Fact{Rel: rel, Args: []query.Const{"it's", "x"}})
+	got, err := EvalString("SELECT 1 WHERE EXISTS (SELECT 1 FROM R r1 WHERE r1.c1 = 'it''s')", d)
+	if err != nil || !got {
+		t.Fatalf("escaped literal: %v %v", got, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"SELECT 2 WHERE 1=1",
+		"SELECT 1 WHERE EXISTS (SELECT 1 FROM )",
+		"SELECT 1 WHERE EXISTS (SELECT 1 FROM R r1", // unclosed
+		"SELECT 1 WHERE 1=1 garbage",
+		"SELECT 1 WHERE r1.q1 = 'a'",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestUnboundAliasError(t *testing.T) {
+	d := testDB(t)
+	if _, err := EvalString("SELECT 1 WHERE EXISTS (SELECT 1 FROM R r1 WHERE zz.c1 = 'a')", d); err == nil {
+		t.Error("unbound alias should error at evaluation")
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	d := testDB(t)
+	got, err := EvalString("SELECT 1 WHERE /* a comment */ 1=1", d)
+	if err != nil || !got {
+		t.Fatalf("%v %v", got, err)
+	}
+}

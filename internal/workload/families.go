@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cqa/internal/db"
+	"cqa/internal/query"
+	"cqa/internal/schema"
+)
+
+// TreeQuery returns a complete binary tree of key-joins of the given
+// depth: the root atom's non-key feeds the keys of two children, and so
+// on. Tree joins are in Cforest and classify FO.
+func TreeQuery(depth int) query.Query {
+	var atoms []query.Atom
+	id := 0
+	var build func(parentVar query.Var, d int) query.Var
+	build = func(parentVar query.Var, d int) query.Var {
+		id++
+		name := fmt.Sprintf("T%d", id)
+		self := query.Var(fmt.Sprintf("v%d", id))
+		if d == 0 {
+			rel := schema.NewRelation(name, 2, 1)
+			atoms = append(atoms, query.NewAtom(rel, query.V(parentVar), query.V(self)))
+			return self
+		}
+		rel := schema.NewRelation(name, 3, 1)
+		left := query.Var(fmt.Sprintf("l%d", id))
+		right := query.Var(fmt.Sprintf("r%d", id))
+		atoms = append(atoms, query.NewAtom(rel, query.V(parentVar), query.V(left), query.V(right)))
+		build(left, d-1)
+		build(right, d-1)
+		return self
+	}
+	build("root", depth)
+	return query.NewQuery(atoms...)
+}
+
+// WideStarQuery returns R1(x | y1), ..., Rn(x | yn) plus a hub atom
+// H(y1, ..., yn | z) joining every branch: the hub's composite key
+// aggregates all branch outputs.
+func WideStarQuery(n int) query.Query {
+	atoms := make([]query.Atom, 0, n+1)
+	hubArgs := make([]query.Term, 0, n+1)
+	for i := 1; i <= n; i++ {
+		rel := schema.NewRelation(fmt.Sprintf("R%d", i), 2, 1)
+		y := query.Var(fmt.Sprintf("y%d", i))
+		atoms = append(atoms, query.NewAtom(rel, query.V("x"), query.V(y)))
+		hubArgs = append(hubArgs, query.V(y))
+	}
+	hubArgs = append(hubArgs, query.V("z"))
+	hub := schema.NewRelation("H", n+1, n)
+	atoms = append(atoms, query.Atom{Rel: hub, Args: hubArgs})
+	return query.NewQuery(atoms...)
+}
+
+// ConsistentChainQuery returns a chain alternating mode-i and mode-c
+// atoms: R1(x1 | x2), C1#c(x2 | x3), R2(x3 | x4), ... — the shape
+// Section 6.1's consistent relations are designed for.
+func ConsistentChainQuery(pairs int) query.Query {
+	var atoms []query.Atom
+	v := func(i int) query.Term { return query.V(query.Var(fmt.Sprintf("x%d", i))) }
+	for i := 0; i < pairs; i++ {
+		ri := schema.NewRelation(fmt.Sprintf("R%d", i+1), 2, 1)
+		ci := schema.NewConsistent(fmt.Sprintf("C%d", i+1), 2, 1)
+		atoms = append(atoms, query.NewAtom(ri, v(2*i), v(2*i+1)))
+		atoms = append(atoms, query.NewAtom(ci, v(2*i+1), v(2*i+2)))
+	}
+	return query.NewQuery(atoms...)
+}
+
+// GarbageCollectedDB derives an instance for q whose irrelevant portion
+// dominates: fullMatches seeded embeddings plus deadFraction times as
+// many facts that join nothing (fresh constants). Used by purification
+// experiments.
+func GarbageCollectedDB(rng *rand.Rand, q query.Query, fullMatches int, deadPerAtom int) *db.DB {
+	p := DefaultDBParams()
+	p.SeedMatches = fullMatches
+	p.Domain = fullMatches + 1
+	p.Noise = 0
+	d := RandomDB(rng, q, p)
+	for _, a := range q.Atoms {
+		for i := 0; i < deadPerAtom; i++ {
+			args := make([]query.Const, a.Rel.Arity)
+			for j := range args {
+				args[j] = query.Const(fmt.Sprintf("dead_%s_%d_%d", a.Rel.Name, i, j))
+			}
+			if a.Rel.Mode == schema.ModeC {
+				continue
+			}
+			d.Add(db.Fact{Rel: a.Rel, Args: args})
+		}
+	}
+	return d
+}
+
+// BlockSizeSkewedDB builds a q0-style instance whose block sizes follow
+// a rough power law: a few huge blocks and many singletons, the shape of
+// real dirty data where a handful of keys collect most conflicts.
+func BlockSizeSkewedDB(rng *rand.Rand, blocks, maxBlockSize int) *db.DB {
+	r0 := schema.NewRelation("R0", 2, 1)
+	s0 := schema.NewRelation("S0", 2, 1)
+	d := db.New()
+	for i := 0; i < blocks; i++ {
+		size := 1
+		for size < maxBlockSize && rng.Float64() < 0.5 {
+			size *= 2
+		}
+		x := query.Const(fmt.Sprintf("x%d", i))
+		for k := 0; k < size; k++ {
+			y := query.Const(fmt.Sprintf("y%d_%d", i, k))
+			d.Add(db.Fact{Rel: r0, Args: []query.Const{x, y}})
+			d.Add(db.Fact{Rel: s0, Args: []query.Const{y, x}})
+		}
+	}
+	return d
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/attack"
+	"cqa/internal/conp"
+	"cqa/internal/ptime"
+	"cqa/internal/rewrite"
+)
+
+func TestTreeQueryFO(t *testing.T) {
+	for depth := 0; depth <= 3; depth++ {
+		q := TreeQuery(depth)
+		if !q.SelfJoinFree() {
+			t.Fatalf("depth %d: self-join", depth)
+		}
+		cls, _, err := attack.Classify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cls != attack.FO {
+			t.Errorf("depth %d tree classified %v, want FO (%s)", depth, cls, q)
+		}
+	}
+}
+
+func TestWideStarQuery(t *testing.T) {
+	q := WideStarQuery(4)
+	if q.Len() != 5 {
+		t.Fatalf("atoms = %d", q.Len())
+	}
+	cls, _, err := attack.Classify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls == attack.CoNPComplete {
+		t.Errorf("wide star should not be coNP-complete: %s", q)
+	}
+}
+
+func TestConsistentChainQuery(t *testing.T) {
+	q := ConsistentChainQuery(3)
+	if q.InconsistencyCount() != 3 || q.ConsistentPart().Len() != 3 {
+		t.Fatalf("mode split wrong: %s", q)
+	}
+	cls, _, err := attack.Classify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls != attack.FO {
+		t.Errorf("consistent chain classified %v, want FO", cls)
+	}
+	// And it evaluates.
+	rng := rand.New(rand.NewSource(1))
+	d := RandomDB(rng, q, DefaultDBParams())
+	if _, err := rewrite.Certain(q, d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGarbageCollectedDB(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := NonKeyJoinQuery()
+	d := GarbageCollectedDB(rng, q, 3, 20)
+	if d.Len() < 40 {
+		t.Fatalf("expected dead facts, got %d facts", d.Len())
+	}
+	got, _ := conp.Certain(q, d)
+	_ = got // smoke: must terminate quickly despite the garbage
+}
+
+func TestBlockSizeSkewedDB(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := BlockSizeSkewedDB(rng, 30, 8)
+	max := 0
+	for _, b := range d.Blocks() {
+		if len(b.Facts) > max {
+			max = len(b.Facts)
+		}
+	}
+	if max < 2 {
+		t.Fatalf("expected skewed blocks, max size %d", max)
+	}
+	q := Q0()
+	if _, _, err := ptime.Certain(q, d); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package workload generates synthetic queries and uncertain databases for
+// testing and benchmarking. The paper (Koutris & Wijsen, PODS 2015) is
+// purely theoretical, so these generators stand in for the missing
+// experimental workloads: random self-join-free conjunctive queries,
+// structured query families from the literature, and database generators
+// with tunable size, block structure, and inconsistency.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cqa/internal/query"
+	"cqa/internal/schema"
+)
+
+// QueryParams controls random query generation.
+type QueryParams struct {
+	Atoms    int     // number of atoms
+	MaxArity int     // maximum relation arity (>= 1)
+	MaxKey   int     // maximum key length (clamped to arity)
+	Vars     int     // size of the variable pool
+	PConst   float64 // probability a position holds a constant
+	PModeC   float64 // probability an atom has mode c
+	Consts   int     // size of the constant pool used by PConst
+}
+
+// DefaultQueryParams returns a reasonable parameter set for fuzzing.
+func DefaultQueryParams() QueryParams {
+	return QueryParams{Atoms: 3, MaxArity: 3, MaxKey: 2, Vars: 4, PConst: 0.05, PModeC: 0.1, Consts: 2}
+}
+
+// RandomQuery generates a random self-join-free Boolean conjunctive query.
+// Variables are drawn from a shared pool so atoms join with each other;
+// the query is not guaranteed to be connected.
+func RandomQuery(rng *rand.Rand, p QueryParams) query.Query {
+	if p.Atoms < 1 {
+		p.Atoms = 1
+	}
+	if p.MaxArity < 1 {
+		p.MaxArity = 1
+	}
+	if p.Vars < 1 {
+		p.Vars = 1
+	}
+	if p.Consts < 1 {
+		p.Consts = 1
+	}
+	atoms := make([]query.Atom, 0, p.Atoms)
+	for i := 0; i < p.Atoms; i++ {
+		arity := 1 + rng.Intn(p.MaxArity)
+		maxKey := p.MaxKey
+		if maxKey < 1 {
+			maxKey = 1
+		}
+		if maxKey > arity {
+			maxKey = arity
+		}
+		keyLen := 1 + rng.Intn(maxKey)
+		mode := schema.ModeI
+		if rng.Float64() < p.PModeC {
+			mode = schema.ModeC
+		}
+		rel := schema.Relation{
+			Name:   fmt.Sprintf("R%d", i),
+			Arity:  arity,
+			KeyLen: keyLen,
+			Mode:   mode,
+		}
+		args := make([]query.Term, arity)
+		for j := range args {
+			if rng.Float64() < p.PConst {
+				args[j] = query.C(query.Const(fmt.Sprintf("c%d", rng.Intn(p.Consts))))
+			} else {
+				args[j] = query.V(query.Var(fmt.Sprintf("x%d", rng.Intn(p.Vars))))
+			}
+		}
+		atoms = append(atoms, query.Atom{Rel: rel, Args: args})
+	}
+	return query.NewQuery(atoms...)
+}
+
+// RandomSimpleKeyQuery generates a random query where every relation has a
+// simple key and positions hold variables only; the regime of Koutris &
+// Suciu (ICDT 2014).
+func RandomSimpleKeyQuery(rng *rand.Rand, atoms, maxArity, vars int) query.Query {
+	p := QueryParams{Atoms: atoms, MaxArity: maxArity, MaxKey: 1, Vars: vars, PConst: 0, PModeC: 0, Consts: 1}
+	return RandomQuery(rng, p)
+}
+
+// PathQuery returns R1(x1 | x2), R2(x2 | x3), ..., Rn(xn | x(n+1)):
+// an acyclic chain whose attack graph is a path (FO case).
+func PathQuery(n int) query.Query {
+	atoms := make([]query.Atom, n)
+	for i := 0; i < n; i++ {
+		rel := schema.NewRelation(fmt.Sprintf("R%d", i+1), 2, 1)
+		atoms[i] = query.NewAtom(rel,
+			query.V(query.Var(fmt.Sprintf("x%d", i+1))),
+			query.V(query.Var(fmt.Sprintf("x%d", i+2))))
+	}
+	return query.NewQuery(atoms...)
+}
+
+// CycleQuery returns R1(x1 | x2), ..., Rn(xn | x1): a key-to-nonkey cycle.
+// For n >= 2 every attack is weak and the attack graph is cyclic, so
+// CERTAINTY(q) is in P \ FO (the generalization of the paper's q0).
+func CycleQuery(n int) query.Query {
+	atoms := make([]query.Atom, n)
+	for i := 0; i < n; i++ {
+		rel := schema.NewRelation(fmt.Sprintf("R%d", i+1), 2, 1)
+		atoms[i] = query.NewAtom(rel,
+			query.V(query.Var(fmt.Sprintf("x%d", i+1))),
+			query.V(query.Var(fmt.Sprintf("x%d", (i+1)%n+1))))
+	}
+	return query.NewQuery(atoms...)
+}
+
+// StarQuery returns R1(x | y1), ..., Rn(x | yn): all atoms share the key
+// variable; the attack graph is acyclic (FO case).
+func StarQuery(n int) query.Query {
+	atoms := make([]query.Atom, n)
+	for i := 0; i < n; i++ {
+		rel := schema.NewRelation(fmt.Sprintf("R%d", i+1), 2, 1)
+		atoms[i] = query.NewAtom(rel,
+			query.V("x"),
+			query.V(query.Var(fmt.Sprintf("y%d", i+1))))
+	}
+	return query.NewQuery(atoms...)
+}
+
+// NonKeyJoinQuery returns R(x | y), S(u | y): the classic coNP-complete
+// query (two atoms joining on non-key positions; the attack cycle is
+// strong in both directions).
+func NonKeyJoinQuery() query.Query {
+	return query.MustParse("R(x | y), S(u | y)")
+}
+
+// Q0 returns q0 = {R0(x | y), S0(y | x)}, the paper's canonical
+// P \ FO query (Lemma 7 shows it is L-hard).
+func Q0() query.Query {
+	return query.MustParse("R0(x | y), S0(y | x)")
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cqa/internal/db"
+	"cqa/internal/query"
+	"cqa/internal/schema"
+)
+
+// CNF is a propositional formula in conjunctive normal form. Variables
+// are 1..Vars; a positive literal is +v, a negative literal is -v.
+type CNF struct {
+	Vars    int
+	Clauses [][]int
+}
+
+// RandomCNF draws a uniform random k-CNF with the given clause count;
+// k is capped at the variable count (a clause mentions distinct
+// variables).
+func RandomCNF(rng *rand.Rand, vars, clauses, k int) CNF {
+	if k > vars {
+		k = vars
+	}
+	f := CNF{Vars: vars}
+	for c := 0; c < clauses; c++ {
+		clause := make([]int, 0, k)
+		for len(clause) < k {
+			v := 1 + rng.Intn(vars)
+			lit := v
+			if rng.Intn(2) == 0 {
+				lit = -v
+			}
+			dup := false
+			for _, l := range clause {
+				if l == lit || l == -lit {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				clause = append(clause, lit)
+			}
+		}
+		f.Clauses = append(f.Clauses, clause)
+	}
+	return f
+}
+
+// Satisfiable decides the formula by brute force; for small test
+// formulas only.
+func (f CNF) Satisfiable() bool {
+	for mask := 0; mask < 1<<f.Vars; mask++ {
+		ok := true
+		for _, clause := range f.Clauses {
+			sat := false
+			for _, lit := range clause {
+				v := lit
+				if v < 0 {
+					v = -v
+				}
+				val := mask>>(v-1)&1 == 1
+				if (lit > 0) == val {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// SATInstance encodes a CNF formula as an input to
+// CERTAINTY(R(x | y), S(u | y)) following the shape of the Theorem 3 /
+// [19, Thm 2] hardness reduction:
+//
+//   - one R-block per propositional variable v, with two facts
+//     R(var_v | v=T) and R(var_v | v=F) — a repair of the block is a
+//     truth assignment;
+//   - one S-block per clause c, with one fact S(cl_c | w(l)) per literal
+//     l in c, where w(l) is the value that CONTRADICTS l (w(v) = "v=F",
+//     w(¬v) = "v=T") — a repair picks a literal of the clause to expose.
+//
+// A repair avoids every embedding of q iff each clause can expose a
+// literal whose contradicting value is not the assignment's choice —
+// i.e., a literal that is TRUE under the assignment. Hence a falsifying
+// repair exists iff the formula is satisfiable:
+//
+//	CERTAINTY(q) on SATInstance(f)  <=>  f is unsatisfiable.
+//
+// Unsatisfiable formulas therefore yield certain instances on which any
+// falsifying-repair search must exhaust — the engine of the
+// coNP-completeness in Theorem 3.
+func SATInstance(f CNF) *db.DB {
+	r := schema.NewRelation("R", 2, 1)
+	s := schema.NewRelation("S", 2, 1)
+	d := db.New()
+	val := func(v int, truth bool) query.Const {
+		t := "F"
+		if truth {
+			t = "T"
+		}
+		return query.Const(fmt.Sprintf("v%d=%s", v, t))
+	}
+	for v := 1; v <= f.Vars; v++ {
+		d.Add(db.NewFact(r, query.Const(fmt.Sprintf("var%d", v)), val(v, true)))
+		d.Add(db.NewFact(r, query.Const(fmt.Sprintf("var%d", v)), val(v, false)))
+	}
+	for c, clause := range f.Clauses {
+		for _, lit := range clause {
+			v := lit
+			contradicts := false // w(v) = "v=F": contradicts positive literal
+			if lit < 0 {
+				v = -lit
+				contradicts = true // w(¬v) = "v=T"
+			}
+			d.Add(db.NewFact(s, query.Const(fmt.Sprintf("cl%d", c)), val(v, contradicts)))
+		}
+	}
+	return d
+}
+
+// SATQuery returns the query the SAT reduction targets.
+func SATQuery() query.Query {
+	return query.MustParse("R(x | y), S(u | y)")
+}
