@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench fuzz vet fmt experiments clean
+.PHONY: all build test test-short race check bench fuzz vet fmt experiments clean
 
 all: build test
 
@@ -14,6 +14,15 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1 gate: build + full tests, vet, and race-enabled tests for the
+# concurrent packages (server, plan cache, db store).
+check: build test
+	$(GO) vet ./...
+	$(GO) test -race ./internal/server ./internal/plancache ./internal/store
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -5,8 +5,13 @@
 package cqa
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"cqa/internal/attack"
@@ -18,6 +23,7 @@ import (
 	"cqa/internal/ptime"
 	"cqa/internal/query"
 	"cqa/internal/rewrite"
+	"cqa/internal/server"
 	"cqa/internal/sqlmini"
 	"cqa/internal/workload"
 )
@@ -245,6 +251,66 @@ func BenchmarkFMRewritingChain(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- E-serve: HTTP service with shared plan cache ---
+
+// BenchmarkServeCertainWarmCache measures a /v1/certain round trip over
+// httptest with a warm plan cache (every iteration reuses one cached
+// plan) against the cold path (every iteration is a never-seen query
+// whose classification + rewriting must be compiled). The gap is the
+// per-request win of the Lemma 3 compile-once/serve-many split.
+func BenchmarkServeCertainWarmCache(b *testing.B) {
+	newServer := func() (*httptest.Server, func()) {
+		srv := server.New(server.Config{CacheSize: 1 << 16, MaxWorkers: 64})
+		ts := httptest.NewServer(srv.Handler())
+		return ts, ts.Close
+	}
+	post := func(tb testing.TB, client *http.Client, url string, body []byte) {
+		resp, err := client.Post(url+"/v1/certain", "application/json", bytes.NewReader(body))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			tb.Fatalf("status %d", resp.StatusCode)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	facts := "R(a | b)\nR(a | b2)\nS(b | c)\nS(b2 | c)\n"
+
+	b.Run("warm", func(b *testing.B) {
+		ts, done := newServer()
+		defer done()
+		body, _ := json.Marshal(map[string]any{
+			"query": "R(x | y), S(y | z)",
+			"facts": facts,
+		})
+		post(b, ts.Client(), ts.URL, body) // prime the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.Client(), ts.URL, body)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		ts, done := newServer()
+		defer done()
+		bodies := make([][]byte, b.N)
+		for i := range bodies {
+			// Distinct relation names per iteration: never a cache hit,
+			// so each request pays classification + rewriting.
+			bodies[i], _ = json.Marshal(map[string]any{
+				"query": fmt.Sprintf("R%d(x | y), S%d(y | z)", i, i),
+				"facts": fmt.Sprintf("R%d(a | b)\nR%d(a | b2)\nS%d(b | c)\nS%d(b2 | c)\n", i, i, i, i),
+			})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.Client(), ts.URL, bodies[i])
+		}
+	})
 }
 
 // --- E8: SQL bridge ---

@@ -1,0 +1,22 @@
+// Command cqa-load is the load generator for cqa-serve: it uploads
+// generated databases for the literature catalog and the workload query
+// families, replays /v1/certain and /v1/classify traffic at a target
+// QPS, and prints a latency/throughput summary plus the server's
+// plan-cache counters.
+//
+// Usage:
+//
+//	cqa-load [-url http://127.0.0.1:8334] [-qps 200] [-duration 5s]
+//	         [-concurrency 16] [-classify 0.25] [-seed 1]
+//	cqa-load -probe        # cold-vs-warm plan-cache latency per query
+package main
+
+import (
+	"os"
+
+	"cqa/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunLoad(os.Args[1:], os.Stdout, os.Stderr))
+}

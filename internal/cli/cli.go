@@ -56,7 +56,7 @@ func RunClassify(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	q, err := query.Parse(fs.Arg(0))
+	q, err := parseNormalized(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -128,7 +128,7 @@ func RunCertain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	q, err := query.Parse(*qs)
+	q, err := parseNormalized(*qs)
 	if err != nil {
 		fmt.Fprintln(stderr, "cqa-certain:", err)
 		return 2
@@ -314,6 +314,15 @@ func RunBench(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// parseNormalized parses a query through core.Normalize — the same
+// helper the server's plan cache keys on — so the CLIs and the service
+// agree on the canonical form of textual variants (whitespace, atom
+// order) of the same query.
+func parseNormalized(s string) (query.Query, error) {
+	q, _, err := core.Normalize(s)
+	return q, err
 }
 
 func describeClass(c attack.Class) string {

@@ -1,0 +1,357 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"cqa/internal/catalog"
+	"cqa/internal/server"
+	"cqa/internal/workload"
+)
+
+// RunServe implements cqa-serve: the long-running CQA service with the
+// shared plan cache and the named-database registry.
+func RunServe(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cqa-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8334", "listen address")
+	cacheSize := fs.Int("cache", 1024, "plan-cache capacity (compiled plans)")
+	workers := fs.Int("workers", 0, "max concurrently evaluating requests (0 = 2×GOMAXPROCS)")
+	quiet := fs.Bool("quiet", false, "suppress per-request logging")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(stderr, "cqa-serve ", log.LstdFlags|log.Lmicroseconds)
+	}
+	if *workers <= 0 {
+		*workers = 2 * runtime.GOMAXPROCS(0)
+	}
+	srv := server.New(server.Config{CacheSize: *cacheSize, MaxWorkers: *workers, Logger: logger})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(stdout, "cqa-serve listening on %s (cache %d plans, workers %d)\n",
+		*addr, *cacheSize, *workers)
+
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(stderr, "cqa-serve:", err)
+			return 1
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(stdout, "cqa-serve: shutting down...")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(stderr, "cqa-serve: shutdown:", err)
+			return 1
+		}
+		<-errc // drain ListenAndServe's ErrServerClosed
+		fmt.Fprintln(stdout, "cqa-serve: drained, bye")
+	}
+	return 0
+}
+
+// loadJob is one prepared request of the load mix.
+type loadJob struct {
+	name     string
+	endpoint string // "certain" or "classify"
+	body     []byte
+}
+
+// loadResult is one completed request.
+type loadResult struct {
+	endpoint string
+	latency  time.Duration
+	err      bool
+}
+
+// RunLoad implements cqa-load: it uploads generated databases for the
+// catalog and workload query families, replays certain/classify traffic
+// against a running cqa-serve at a target QPS, and prints a latency and
+// throughput summary. With -probe it instead measures cold-vs-warm
+// plan-cache latency per query.
+func RunLoad(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cqa-load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	url := fs.String("url", "http://127.0.0.1:8334", "base URL of the cqa-serve instance")
+	qps := fs.Int("qps", 200, "target requests per second")
+	duration := fs.Duration("duration", 5*time.Second, "load duration")
+	concurrency := fs.Int("concurrency", 16, "concurrent client workers")
+	seed := fs.Int64("seed", 1, "random seed for generated databases")
+	classifyFrac := fs.Float64("classify", 0.25, "fraction of requests that hit /v1/classify")
+	probe := fs.Bool("probe", false, "measure cold vs warm plan-cache latency per query and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	base := strings.TrimRight(*url, "/")
+
+	if ok := pingServer(client, base, stderr); !ok {
+		return 1
+	}
+	jobs, err := prepareLoad(client, base, *seed, *classifyFrac)
+	if err != nil {
+		fmt.Fprintln(stderr, "cqa-load:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "prepared %d request shapes against %s\n", len(jobs), base)
+
+	if *probe {
+		return runProbe(client, base, jobs, stdout, stderr)
+	}
+
+	results := fireAtRate(client, base, jobs, *qps, *duration, *concurrency)
+	summarize(stdout, results, *duration)
+	printServerCounters(client, base, stdout)
+	return 0
+}
+
+func pingServer(client *http.Client, base string, stderr io.Writer) bool {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		fmt.Fprintf(stderr, "cqa-load: cannot reach %s: %v (is cqa-serve running?)\n", base, err)
+		return false
+	}
+	resp.Body.Close()
+	return true
+}
+
+// prepareLoad uploads one generated database per query of the mix and
+// returns the request shapes the replay loop cycles through. The mix is
+// every catalog entry plus workload-generated family queries, so all
+// three engines (fo, ptime, conp) see traffic.
+func prepareLoad(client *http.Client, base string, seed int64, classifyFrac float64) ([]loadJob, error) {
+	rng := rand.New(rand.NewSource(seed))
+	p := workload.DefaultDBParams()
+	p.SeedMatches = 2
+
+	type namedQuery struct {
+		name string
+		text string
+	}
+	var queries []namedQuery
+	for _, e := range catalog.Entries() {
+		queries = append(queries, namedQuery{name: e.Name, text: e.Query})
+	}
+	for n := 2; n <= 5; n++ {
+		queries = append(queries, namedQuery{name: fmt.Sprintf("path-%d", n), text: workload.PathQuery(n).String()})
+		queries = append(queries, namedQuery{name: fmt.Sprintf("star-%d", n), text: workload.StarQuery(n).String()})
+	}
+
+	var jobs []loadJob
+	for i, nq := range queries {
+		q, err := parseNormalized(nq.text)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", nq.name, err)
+		}
+		d := workload.RandomDB(rng, q, p)
+		dbName := fmt.Sprintf("load-%03d", i)
+		req, err := http.NewRequest("PUT", base+"/v1/db/"+dbName, strings.NewReader(d.String()+"\n"))
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("uploading %s: %w", dbName, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("uploading %s: %s: %s", dbName, resp.Status, bytes.TrimSpace(body))
+		}
+		certainBody, err := json.Marshal(map[string]string{"query": nq.text, "db": dbName})
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, loadJob{name: nq.name, endpoint: "certain", body: certainBody})
+		if float64(i%100)/100 < classifyFrac {
+			classifyBody, _ := json.Marshal(map[string]string{"query": nq.text})
+			jobs = append(jobs, loadJob{name: nq.name, endpoint: "classify", body: classifyBody})
+		}
+	}
+	// Shuffle so endpoint types interleave in the replay cycle.
+	rng.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+	return jobs, nil
+}
+
+func fire(client *http.Client, base string, job loadJob) loadResult {
+	start := time.Now()
+	resp, err := client.Post(base+"/v1/"+job.endpoint, "application/json", bytes.NewReader(job.body))
+	res := loadResult{endpoint: job.endpoint, latency: time.Since(start)}
+	if err != nil {
+		res.err = true
+		return res
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	res.latency = time.Since(start)
+	res.err = resp.StatusCode != http.StatusOK
+	return res
+}
+
+// fireAtRate replays the jobs round-robin at the target QPS for the
+// given duration and collects per-request results.
+func fireAtRate(client *http.Client, base string, jobs []loadJob, qps int, duration time.Duration, concurrency int) []loadResult {
+	if qps < 1 {
+		qps = 1
+	}
+	interval := time.Second / time.Duration(qps)
+	pending := make(chan loadJob, concurrency)
+	var mu sync.Mutex
+	var results []loadResult
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range pending {
+				r := fire(client, base, job)
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			}
+		}()
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.After(duration)
+	i := 0
+loop:
+	for {
+		select {
+		case <-deadline:
+			break loop
+		case <-ticker.C:
+			select {
+			case pending <- jobs[i%len(jobs)]:
+				i++
+			default:
+				// All workers busy: the server is saturated; drop the
+				// tick rather than queue unboundedly.
+			}
+		}
+	}
+	close(pending)
+	wg.Wait()
+	return results
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func summarize(stdout io.Writer, results []loadResult, elapsed time.Duration) {
+	byEndpoint := map[string][]time.Duration{}
+	errs := 0
+	for _, r := range results {
+		if r.err {
+			errs++
+			continue
+		}
+		byEndpoint[r.endpoint] = append(byEndpoint[r.endpoint], r.latency)
+	}
+	fmt.Fprintf(stdout, "\n%d requests in %s (%.1f req/s achieved), %d errors\n",
+		len(results), elapsed, float64(len(results))/elapsed.Seconds(), errs)
+	endpoints := make([]string, 0, len(byEndpoint))
+	for ep := range byEndpoint {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	fmt.Fprintf(stdout, "%-10s %8s %10s %10s %10s %10s %10s\n",
+		"endpoint", "count", "min", "p50", "p90", "p99", "max")
+	for _, ep := range endpoints {
+		ls := byEndpoint[ep]
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		fmt.Fprintf(stdout, "%-10s %8d %10s %10s %10s %10s %10s\n",
+			ep, len(ls),
+			ls[0].Round(time.Microsecond),
+			percentile(ls, 0.50).Round(time.Microsecond),
+			percentile(ls, 0.90).Round(time.Microsecond),
+			percentile(ls, 0.99).Round(time.Microsecond),
+			ls[len(ls)-1].Round(time.Microsecond))
+	}
+}
+
+// runProbe measures, per query shape, the cold first /v1/classify (plan
+// compiled) against warm repeats (plan served from the cache), printing
+// the aggregate speedup. The probe talks to a live server, so run it
+// against a freshly started cqa-serve for a truly cold cache.
+func runProbe(client *http.Client, base string, jobs []loadJob, stdout, stderr io.Writer) int {
+	const warmReps = 20
+	var colds, warms []time.Duration
+	for _, job := range jobs {
+		if job.endpoint != "certain" {
+			continue
+		}
+		classifyBody := job.body // {"query":..., "db":...}: extra field is ignored
+		cold := fire(client, base, loadJob{endpoint: "classify", body: classifyBody})
+		if cold.err {
+			fmt.Fprintf(stderr, "cqa-load: probe %s failed\n", job.name)
+			return 1
+		}
+		colds = append(colds, cold.latency)
+		best := time.Duration(1 << 62)
+		for i := 0; i < warmReps; i++ {
+			warm := fire(client, base, loadJob{endpoint: "classify", body: classifyBody})
+			if !warm.err && warm.latency < best {
+				best = warm.latency
+			}
+		}
+		warms = append(warms, best)
+	}
+	sort.Slice(colds, func(i, j int) bool { return colds[i] < colds[j] })
+	sort.Slice(warms, func(i, j int) bool { return warms[i] < warms[j] })
+	pc, pw := percentile(colds, 0.5), percentile(warms, 0.5)
+	fmt.Fprintf(stdout, "plan-cache probe over %d queries (/v1/classify):\n", len(colds))
+	fmt.Fprintf(stdout, "  cold (compile): p50 %s, max %s\n", pc.Round(time.Microsecond), colds[len(colds)-1].Round(time.Microsecond))
+	fmt.Fprintf(stdout, "  warm (cached):  p50 %s, max %s\n", pw.Round(time.Microsecond), warms[len(warms)-1].Round(time.Microsecond))
+	if pw > 0 {
+		fmt.Fprintf(stdout, "  p50 speedup: %.1fx\n", float64(pc)/float64(pw))
+	}
+	return 0
+}
+
+func printServerCounters(client *http.Client, base string, stdout io.Writer) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return
+	}
+	fmt.Fprintln(stdout, "\nserver counters:")
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		if strings.HasPrefix(line, "cqa_plancache_") || strings.HasPrefix(line, "cqa_store_") {
+			fmt.Fprintf(stdout, "  %s\n", line)
+		}
+	}
+}

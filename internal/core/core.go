@@ -25,9 +25,6 @@ import (
 	"cqa/internal/attack"
 	"cqa/internal/conp"
 	"cqa/internal/db"
-	"cqa/internal/match"
-	"cqa/internal/naive"
-	"cqa/internal/ptime"
 	"cqa/internal/query"
 	"cqa/internal/rewrite"
 )
@@ -144,40 +141,16 @@ type Result struct {
 	Engine  Engine // engine that produced the answer
 }
 
-// Certain decides whether every repair of d satisfies q.
+// Certain decides whether every repair of d satisfies q. It is a thin
+// wrapper that compiles a Plan and runs it once; callers that evaluate
+// the same query against many databases should Compile once (or use a
+// plancache.Cache) and call Plan.Certain directly.
 func Certain(q query.Query, d *db.DB, opts Options) (Result, error) {
-	cls, err := Classify(q)
+	p, err := Compile(q)
 	if err != nil {
 		return Result{}, err
 	}
-	engine := opts.Engine
-	if engine == EngineAuto {
-		switch cls.Class {
-		case FO:
-			engine = EngineFO
-		case PTime:
-			engine = EnginePTime
-		default:
-			engine = EngineCoNP
-		}
-	}
-	res := Result{Class: cls.Class, Engine: engine}
-	switch engine {
-	case EngineFO:
-		res.Certain, err = rewrite.Certain(q, d)
-	case EnginePTime:
-		res.Certain, _, err = ptime.Certain(q, d)
-	case EngineCoNP:
-		res.Certain, _ = conp.Certain(q, d)
-	case EngineNaive:
-		res.Certain, err = naive.Certain(q, d)
-	default:
-		err = fmt.Errorf("core: unknown engine %v", engine)
-	}
-	if err != nil {
-		return Result{}, err
-	}
-	return res, nil
+	return p.Certain(d, opts)
 }
 
 // FalsifyingRepair returns a repair of d that falsifies q, when one
@@ -201,37 +174,11 @@ func Rewriting(q query.Query) (rewrite.Formula, error) {
 // designated free variables, it returns every binding of the free
 // variables (drawn from embeddings of q into d) whose instantiated
 // Boolean query is certain. Bindings are returned in deterministic order.
+// It compiles q once and delegates to Plan.CertainAnswers.
 func CertainAnswers(q query.Query, free []query.Var, d *db.DB, opts Options) ([]query.Valuation, error) {
-	vars := q.Vars()
-	for _, v := range free {
-		if !vars.Has(v) {
-			return nil, fmt.Errorf("core: free variable %s does not occur in %s", v, q)
-		}
+	p, err := Compile(q)
+	if err != nil {
+		return nil, err
 	}
-	// Candidate answers: projections of embeddings into d. Any certain
-	// answer must be one of these (the instantiated query must hold in
-	// the repair d' ⊆ d... every repair embeds it into d).
-	freeSet := query.NewVarSet(free...)
-	seen := make(map[string]query.Valuation)
-	var order []string
-	for _, m := range match.AllMatches(q, d) {
-		proj := m.Restrict(freeSet)
-		k := proj.Key()
-		if _, ok := seen[k]; !ok {
-			seen[k] = proj
-			order = append(order, k)
-		}
-	}
-	var out []query.Valuation
-	for _, k := range order {
-		proj := seen[k]
-		res, err := Certain(q.Substitute(proj), d, opts)
-		if err != nil {
-			return nil, err
-		}
-		if res.Certain {
-			out = append(out, proj)
-		}
-	}
-	return out, nil
+	return p.CertainAnswers(free, d, opts)
 }

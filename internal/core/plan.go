@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"cqa/internal/conp"
+	"cqa/internal/db"
+	"cqa/internal/match"
+	"cqa/internal/naive"
+	"cqa/internal/ptime"
+	"cqa/internal/query"
+	"cqa/internal/rewrite"
+)
+
+// Plan is a compiled certainty plan: the per-query work of the
+// trichotomy — attack-graph construction, classification, and (for FO
+// queries) the symbolic first-order rewriting — done exactly once. The
+// per-query work is polynomial in |q| and independent of the data
+// (Lemma 3), so a long-running process compiles each distinct query
+// into a Plan and answers every data-side request from it, skipping
+// attack-graph construction entirely on the hot path.
+//
+// A Plan is immutable after Compile and safe for concurrent use.
+type Plan struct {
+	Classification
+	// Formula is the consistent first-order rewriting of CERTAINTY(q)
+	// (Theorem 2 / Lemma 10); nil unless Class == FO.
+	Formula rewrite.Formula
+
+	key string
+}
+
+// Compile classifies q and, when CERTAINTY(q) is in FO, constructs its
+// first-order rewriting. The query must be self-join-free.
+func Compile(q query.Query) (*Plan, error) {
+	cls, err := Classify(q)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Classification: cls, key: q.Canonical()}
+	if cls.Class == FO {
+		f, err := rewrite.Rewriting(q)
+		if err != nil {
+			return nil, err
+		}
+		p.Formula = f
+	}
+	return p, nil
+}
+
+// CompileString parses, normalizes, and compiles a query in the textual
+// syntax.
+func CompileString(s string) (*Plan, error) {
+	q, _, err := Normalize(s)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(q)
+}
+
+// Key returns the normalized cache key of the plan's query: the
+// canonical (atom-sorted) text produced by Normalize.
+func (p *Plan) Key() string { return p.key }
+
+// Engine resolves the engine the options select for this plan's class.
+func (p *Plan) Engine(opts Options) Engine {
+	if opts.Engine != EngineAuto {
+		return opts.Engine
+	}
+	switch p.Class {
+	case FO:
+		return EngineFO
+	case PTime:
+		return EnginePTime
+	default:
+		return EngineCoNP
+	}
+}
+
+// Certain decides whether every repair of d satisfies the plan's query,
+// reusing the compiled classification instead of re-running Classify.
+func (p *Plan) Certain(d *db.DB, opts Options) (Result, error) {
+	engine := p.Engine(opts)
+	res := Result{Class: p.Class, Engine: engine}
+	var err error
+	switch engine {
+	case EngineFO:
+		if p.HasCycle {
+			return Result{}, fmt.Errorf("core: attack graph of %s is cyclic; CERTAINTY is not in FO", p.Query)
+		}
+		res.Certain = rewrite.CertainAcyclic(p.Query, d)
+	case EnginePTime:
+		res.Certain, _, err = ptime.Certain(p.Query, d)
+	case EngineCoNP:
+		res.Certain, _ = conp.Certain(p.Query, d)
+	case EngineNaive:
+		res.Certain, err = naive.Certain(p.Query, d)
+	default:
+		err = fmt.Errorf("core: unknown engine %v", engine)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// CertainAnswers lifts the plan to non-Boolean queries: for the given
+// free variables it returns every binding (drawn from embeddings into d)
+// whose instantiated Boolean query is certain, in deterministic order.
+//
+// For FO plans each instantiated query is decided by the Lemma 10
+// recursion directly: instantiating variables with constants never adds
+// attacks (Lemma 6), so acyclicity is inherited and no per-binding
+// reclassification is needed. For the other classes instantiation can
+// only make the query easier, so each binding is dispatched through
+// Certain, which classifies the instantiated query.
+func (p *Plan) CertainAnswers(free []query.Var, d *db.DB, opts Options) ([]query.Valuation, error) {
+	vars := p.Query.Vars()
+	for _, v := range free {
+		if !vars.Has(v) {
+			return nil, fmt.Errorf("core: free variable %s does not occur in %s", v, p.Query)
+		}
+	}
+	fastFO := p.Engine(opts) == EngineFO && !p.HasCycle
+
+	// Candidate answers: projections of embeddings into d. Any certain
+	// answer must be one of these (the instantiated query must hold in
+	// the repair d' ⊆ d... every repair embeds it into d).
+	freeSet := query.NewVarSet(free...)
+	seen := make(map[string]query.Valuation)
+	var order []string
+	for _, m := range match.AllMatches(p.Query, d) {
+		proj := m.Restrict(freeSet)
+		k := proj.Key()
+		if _, ok := seen[k]; !ok {
+			seen[k] = proj
+			order = append(order, k)
+		}
+	}
+	var out []query.Valuation
+	for _, k := range order {
+		proj := seen[k]
+		qi := p.Query.Substitute(proj)
+		var certain bool
+		if fastFO {
+			certain = rewrite.CertainAcyclic(qi, d)
+		} else {
+			res, err := Certain(qi, d, opts)
+			if err != nil {
+				return nil, err
+			}
+			certain = res.Certain
+		}
+		if certain {
+			out = append(out, proj)
+		}
+	}
+	return out, nil
+}
+
+// Normalize parses a query in the textual syntax and returns it in
+// canonical form together with its canonical key: the atom-sorted text
+// that the plan cache and the CLIs share, so that textual variants of
+// the same query (whitespace, atom order) map to the same plan.
+func Normalize(s string) (query.Query, string, error) {
+	q, err := query.Parse(s)
+	if err != nil {
+		return query.Query{}, "", err
+	}
+	key := q.Canonical()
+	if nq, err := query.Parse(key); err == nil {
+		return nq, key, nil
+	}
+	// Canonical text always re-parses; this fallback keeps Normalize
+	// total even if a future syntax change breaks the round trip.
+	return q, key, nil
+}

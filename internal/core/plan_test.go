@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/naive"
+	"cqa/internal/query"
+	"cqa/internal/workload"
+)
+
+// TestPlanReuseAgreesWithOracle: one compiled plan answers many
+// databases, agreeing with the brute-force oracle and with the one-shot
+// Certain wrapper on every engine.
+func TestPlanReuseAgreesWithOracle(t *testing.T) {
+	for _, qs := range []string{
+		"R(x | y), S(y | z)",   // FO
+		"R0(x | y), S0(y | x)", // P\FO
+		"R(x | y), S(u | y)",   // coNP-complete
+	} {
+		q := query.MustParse(qs)
+		p, err := Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		for trial := 0; trial < 25; trial++ {
+			d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+			if d.NumRepairs() > 1<<12 {
+				continue
+			}
+			want, err := naive.Certain(q, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := p.Certain(d, Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", qs, err)
+			}
+			if res.Certain != want {
+				t.Errorf("%s trial %d: plan=%v oracle=%v", qs, trial, res.Certain, want)
+			}
+			wrapped, err := Certain(q, d, Options{})
+			if err != nil || wrapped != res {
+				t.Errorf("%s trial %d: wrapper %+v (%v) != plan %+v", qs, trial, wrapped, err, res)
+			}
+		}
+	}
+}
+
+func TestCompileBuildsFormulaOnlyForFO(t *testing.T) {
+	p, err := Compile(query.MustParse("R(x | y), S(y | z)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Class != FO || p.Formula == nil {
+		t.Errorf("FO plan should carry a formula: class=%v formula=%v", p.Class, p.Formula)
+	}
+	if p.Key() != "R(x | y), S(y | z)" {
+		t.Errorf("key = %q", p.Key())
+	}
+	p, err = Compile(workload.Q0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Class != PTime || p.Formula != nil {
+		t.Errorf("non-FO plan should have no formula: class=%v formula=%v", p.Class, p.Formula)
+	}
+}
+
+func TestPlanForcedEngineErrors(t *testing.T) {
+	p, err := Compile(workload.Q0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Certain(nil, Options{Engine: EngineFO}); err == nil {
+		t.Error("FO engine on a cyclic plan must error")
+	}
+	if _, err := p.Certain(nil, Options{Engine: Engine(99)}); err == nil {
+		t.Error("unknown engine must error")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	q1, k1, err := Normalize("  S(y | z) ,  R(x | y)  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, k2, err := Normalize("R(x | y), S(y | z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("keys differ: %q vs %q", k1, k2)
+	}
+	if !q1.Equal(q2) || q1.String() != q2.String() {
+		t.Errorf("normalized queries differ: %s vs %s", q1, q2)
+	}
+	// Constants and modes survive the round trip.
+	_, k3, err := Normalize("T#c(x | z), S(y | 'b')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 != "S(y | 'b'), T#c(x | z)" {
+		t.Errorf("canonical key = %q", k3)
+	}
+	if _, _, err := Normalize("R(("); err == nil {
+		t.Error("syntax error must be reported")
+	}
+	if _, _, err := Normalize("R(x | y), R(y | z)"); err == nil {
+		t.Error("self-join must be rejected")
+	}
+}
+
+func TestPlanCertainAnswersMatchesPackageLevel(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	p, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		got, err := p.CertainAnswers([]query.Var{"x"}, d, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := CertainAnswers(q, []query.Var{"x"}, d, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: plan answers %v, package answers %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i].Key() != want[i].Key() {
+				t.Fatalf("trial %d: answer %d differs: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := p.CertainAnswers([]query.Var{"nope"}, nil, Options{}); err == nil {
+		t.Error("unknown free variable accepted")
+	}
+}

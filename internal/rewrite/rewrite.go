@@ -27,11 +27,19 @@ func Certain(q query.Query, d *db.DB) (bool, error) {
 	if g.HasCycle() {
 		return false, fmt.Errorf("rewrite: attack graph of %s is cyclic; CERTAINTY is not in FO", q)
 	}
+	return CertainAcyclic(q, d), nil
+}
+
+// CertainAcyclic runs the Lemma 10 recursion for a query whose attack
+// graph is already known to be acyclic (for example from a cached
+// classification), skipping the graph construction and cycle check that
+// Certain performs. The result is meaningless on cyclic queries.
+func CertainAcyclic(q query.Query, d *db.DB) bool {
 	e := &evaluator{
 		ix:   match.NewIndex(d),
 		memo: make(map[string]bool),
 	}
-	return e.certain(q), nil
+	return e.certain(q)
 }
 
 type evaluator struct {

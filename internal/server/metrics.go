@@ -1,0 +1,117 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds per-endpoint request and error counters. Labels are the
+// fixed endpoint names passed to instrument, so the map is written only
+// through counter(), which is safe for concurrent use.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]*atomic.Uint64
+	errors   map[string]*atomic.Uint64
+	inflight atomic.Int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]*atomic.Uint64),
+		errors:   make(map[string]*atomic.Uint64),
+	}
+}
+
+func counter(mu *sync.Mutex, m map[string]*atomic.Uint64, label string) *atomic.Uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	c, ok := m[label]
+	if !ok {
+		c = &atomic.Uint64{}
+		m[label] = c
+	}
+	return c
+}
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting, the worker-cap
+// semaphore (for evaluating endpoints), and per-request logging with
+// latency and the engine used.
+func (s *Server) instrument(label string, limited bool, h http.HandlerFunc) http.Handler {
+	reqs := counter(&s.metrics.mu, s.metrics.requests, label)
+	errs := counter(&s.metrics.mu, s.metrics.errors, label)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqs.Add(1)
+		if limited {
+			s.sem <- struct{}{}
+			defer func() { <-s.sem }()
+		}
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		elapsed := time.Since(start)
+		if rec.status >= 400 {
+			errs.Add(1)
+		}
+		if s.logger != nil {
+			extra := ""
+			if engine := rec.Header().Get("X-CQA-Engine"); engine != "" {
+				extra += " engine=" + engine
+			}
+			if cache := rec.Header().Get("X-CQA-Cache"); cache != "" {
+				extra += " plan=" + cache
+			}
+			s.logger.Printf("%s %s %d %s%s", r.Method, r.URL.Path, rec.status, elapsed.Round(time.Microsecond), extra)
+		}
+	})
+}
+
+// handleMetrics renders the counters in the text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cqa_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+	fmt.Fprintf(&b, "cqa_inflight_requests %d\n", s.metrics.inflight.Load()-1) // exclude this request
+
+	s.metrics.mu.Lock()
+	labels := make([]string, 0, len(s.metrics.requests))
+	for label := range s.metrics.requests {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		fmt.Fprintf(&b, "cqa_requests_total{endpoint=%q} %d\n", label, s.metrics.requests[label].Load())
+	}
+	for _, label := range labels {
+		if n := s.metrics.errors[label].Load(); n > 0 {
+			fmt.Fprintf(&b, "cqa_request_errors_total{endpoint=%q} %d\n", label, n)
+		}
+	}
+	s.metrics.mu.Unlock()
+
+	st := s.cache.Stats()
+	fmt.Fprintf(&b, "cqa_plancache_hits_total %d\n", st.Hits)
+	fmt.Fprintf(&b, "cqa_plancache_misses_total %d\n", st.Misses)
+	fmt.Fprintf(&b, "cqa_plancache_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(&b, "cqa_plancache_entries %d\n", st.Entries)
+	fmt.Fprintf(&b, "cqa_store_databases %d\n", s.store.Len())
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}

@@ -1,0 +1,506 @@
+// Package server exposes the CQA engines as a long-running HTTP/JSON
+// service. The split follows the structure of the paper: classification
+// and FO rewriting are per-query work (Lemma 3), so the server compiles
+// each distinct query once into a core.Plan held in a shared
+// plancache.Cache, and the data-side work of a request — evaluating the
+// plan against an immutable store.Snapshot — runs on the hot path with
+// no attack-graph construction at all.
+//
+// Endpoints:
+//
+//	POST   /v1/classify   {"query": q}                       -> class + cache status
+//	POST   /v1/certain    {"query": q, "db": name|"facts": t} -> certain answer
+//	POST   /v1/answers    {"query": q, "free": [x...], ...}   -> certain answers
+//	POST   /v1/rewrite    {"query": q, "dialect": "logic|sql"} -> FO rewriting
+//	GET    /v1/catalog                                        -> literature catalog
+//	PUT    /v1/db/{name}  (text/plain facts)                  -> publish snapshot
+//	GET    /v1/db/{name}, DELETE /v1/db/{name}, GET /v1/db    -> registry ops
+//	GET    /healthz, GET /metrics                             -> liveness, counters
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+
+	"cqa/internal/catalog"
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/plancache"
+	"cqa/internal/query"
+	"cqa/internal/rewrite"
+	"cqa/internal/store"
+)
+
+// maxBodyBytes bounds request bodies (queries and fact uploads).
+const maxBodyBytes = 32 << 20
+
+// Config configures a Server.
+type Config struct {
+	// CacheSize is the plan-cache capacity in plans; <= 0 selects
+	// plancache.DefaultCapacity.
+	CacheSize int
+	// MaxWorkers caps the number of concurrently evaluating requests
+	// (classify/certain/answers/rewrite); excess requests queue. <= 0
+	// selects 2×GOMAXPROCS.
+	MaxWorkers int
+	// Logger receives one line per request (method, path, status,
+	// latency, engine, cache status); nil disables request logging.
+	Logger *log.Logger
+}
+
+// Server carries the shared serving state. Create with New; the
+// http.Handler is obtained from Handler.
+type Server struct {
+	cache   *plancache.Cache
+	store   *store.Store
+	logger  *log.Logger
+	sem     chan struct{}
+	start   time.Time
+	metrics *metrics
+}
+
+// New returns a server with an empty database registry and a cold plan
+// cache.
+func New(cfg Config) *Server {
+	workers := cfg.MaxWorkers
+	if workers <= 0 {
+		workers = 2 * runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		cache:   plancache.New(cfg.CacheSize),
+		store:   store.New(),
+		logger:  cfg.Logger,
+		sem:     make(chan struct{}, workers),
+		start:   time.Now(),
+		metrics: newMetrics(),
+	}
+}
+
+// Store exposes the database registry (used by tests and preloading).
+func (s *Server) Store() *store.Store { return s.store }
+
+// Cache exposes the plan cache.
+func (s *Server) Cache() *plancache.Cache { return s.cache }
+
+// Handler returns the routed handler with logging and instrumentation.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("metrics", false, s.handleMetrics))
+	mux.Handle("GET /v1/catalog", s.instrument("catalog", false, s.handleCatalog))
+	mux.Handle("POST /v1/classify", s.instrument("classify", true, s.handleClassify))
+	mux.Handle("POST /v1/certain", s.instrument("certain", true, s.handleCertain))
+	mux.Handle("POST /v1/answers", s.instrument("answers", true, s.handleAnswers))
+	mux.Handle("POST /v1/rewrite", s.instrument("rewrite", true, s.handleRewrite))
+	mux.Handle("PUT /v1/db/{name}", s.instrument("db-put", false, s.handleDBPut))
+	mux.Handle("GET /v1/db/{name}", s.instrument("db-get", false, s.handleDBGet))
+	mux.Handle("DELETE /v1/db/{name}", s.instrument("db-delete", false, s.handleDBDelete))
+	mux.Handle("GET /v1/db", s.instrument("db-list", false, s.handleDBList))
+	return mux
+}
+
+// --- request/response shapes ---
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type classifyRequest struct {
+	Query string `json:"query"`
+}
+
+type classifyResponse struct {
+	Query          string `json:"query"` // normalized form
+	Class          string `json:"class"`
+	HasCycle       bool   `json:"hasCycle"`
+	HasStrongCycle bool   `json:"hasStrongCycle"`
+	Cached         bool   `json:"cached"`
+}
+
+type certainRequest struct {
+	Query  string   `json:"query"`
+	DB     string   `json:"db,omitempty"`     // name of an uploaded database
+	Facts  string   `json:"facts,omitempty"`  // inline facts, one per line
+	Engine string   `json:"engine,omitempty"` // auto (default), fo, ptime, conp, naive
+	Free   []string `json:"free,omitempty"`   // /v1/answers only
+}
+
+type dbRef struct {
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+}
+
+type certainResponse struct {
+	Query   string `json:"query"`
+	Certain bool   `json:"certain"`
+	Class   string `json:"class"`
+	Engine  string `json:"engine"`
+	Cached  bool   `json:"cached"`
+	DB      *dbRef `json:"db,omitempty"`
+}
+
+type answersResponse struct {
+	Query   string              `json:"query"`
+	Free    []string            `json:"free"`
+	Answers []map[string]string `json:"answers"`
+	Count   int                 `json:"count"`
+	Class   string              `json:"class"`
+	Cached  bool                `json:"cached"`
+	DB      *dbRef              `json:"db,omitempty"`
+}
+
+type rewriteRequest struct {
+	Query   string `json:"query"`
+	Dialect string `json:"dialect,omitempty"` // "logic" (default) or "sql"
+}
+
+type rewriteResponse struct {
+	Query     string `json:"query"`
+	Class     string `json:"class"`
+	Dialect   string `json:"dialect"`
+	Rewriting string `json:"rewriting"`
+	Cached    bool   `json:"cached"`
+}
+
+type catalogEntry struct {
+	Name   string `json:"name"`
+	Query  string `json:"query"`
+	Class  string `json:"class"`
+	Source string `json:"source"`
+}
+
+type snapshotInfo struct {
+	Name      string   `json:"name"`
+	Version   uint64   `json:"version"`
+	Facts     int      `json:"facts"`
+	Blocks    int      `json:"blocks"`
+	Relations []string `json:"relations"`
+	LoadedAt  string   `json:"loadedAt"`
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed JSON body: %v", err)
+		return false
+	}
+	return true
+}
+
+// compile resolves the query text through the shared plan cache,
+// translating errors to a 400. It records cache status in the response
+// headers so the logging middleware can report it.
+func (s *Server) compile(w http.ResponseWriter, text string) (*core.Plan, bool, bool) {
+	if text == "" {
+		httpError(w, http.StatusBadRequest, "missing \"query\"")
+		return nil, false, false
+	}
+	plan, hit, err := s.cache.GetOrCompile(text)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return nil, false, false
+	}
+	if hit {
+		w.Header().Set("X-CQA-Cache", "hit")
+	} else {
+		w.Header().Set("X-CQA-Cache", "miss")
+	}
+	return plan, hit, true
+}
+
+// resolveDB produces the database a certain/answers request evaluates
+// against: a stored snapshot (by name) or inline facts typed by the
+// plan's query schema. Exactly one of "db" and "facts" must be set.
+func (s *Server) resolveDB(w http.ResponseWriter, req certainRequest, plan *core.Plan) (*db.DB, *dbRef, bool) {
+	switch {
+	case req.DB != "" && req.Facts != "":
+		httpError(w, http.StatusBadRequest, "set either \"db\" or \"facts\", not both")
+		return nil, nil, false
+	case req.DB != "":
+		snap, ok := s.store.Get(req.DB)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown database %q", req.DB)
+			return nil, nil, false
+		}
+		if err := checkSchema(plan.Query, snap.DB); err != nil {
+			httpError(w, http.StatusBadRequest, "database %q: %v", req.DB, err)
+			return nil, nil, false
+		}
+		return snap.DB, &dbRef{Name: snap.Name, Version: snap.Version}, true
+	case req.Facts != "":
+		d, err := db.ParseFacts(plan.Query.Schema(), req.Facts)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "facts: %v", err)
+			return nil, nil, false
+		}
+		if !d.ConsistentFor() {
+			httpError(w, http.StatusBadRequest, "a mode-c relation of the input violates its primary key")
+			return nil, nil, false
+		}
+		return d, nil, true
+	default:
+		httpError(w, http.StatusBadRequest, "missing \"db\" (stored database name) or \"facts\" (inline facts)")
+		return nil, nil, false
+	}
+}
+
+// checkSchema verifies that the stored facts of every relation the query
+// uses carry the signature the query expects. Uploads infer signatures
+// from the bar syntax, so a mismatch means the upload and the query
+// disagree about keys or modes — evaluating anyway would be silently
+// wrong.
+func checkSchema(q query.Query, d *db.DB) error {
+	for _, a := range q.Atoms {
+		facts := d.FactsOf(a.Rel.Name)
+		if len(facts) == 0 {
+			continue
+		}
+		got := facts[0].Rel
+		if got != a.Rel {
+			return fmt.Errorf("relation %s: stored signature [arity %d, key %d, mode %s] differs from the query's [arity %d, key %d, mode %s]",
+				a.Rel.Name, got.Arity, got.KeyLen, got.Mode, a.Rel.Arity, a.Rel.KeyLen, a.Rel.Mode)
+		}
+	}
+	return nil
+}
+
+func parseEngine(w http.ResponseWriter, name string) (core.Options, bool) {
+	engine, err := core.ParseEngine(name)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return core.Options{}, false
+	}
+	return core.Options{Engine: engine}, true
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n") //nolint:errcheck
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req classifyRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	plan, hit, ok := s.compile(w, req.Query)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, classifyResponse{
+		Query:          plan.Query.String(),
+		Class:          plan.Class.String(),
+		HasCycle:       plan.HasCycle,
+		HasStrongCycle: plan.HasStrongCycle,
+		Cached:         hit,
+	})
+}
+
+func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
+	var req certainRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	plan, hit, ok := s.compile(w, req.Query)
+	if !ok {
+		return
+	}
+	opts, ok := parseEngine(w, req.Engine)
+	if !ok {
+		return
+	}
+	d, ref, ok := s.resolveDB(w, req, plan)
+	if !ok {
+		return
+	}
+	res, err := plan.Certain(d, opts)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	w.Header().Set("X-CQA-Engine", res.Engine.String())
+	writeJSON(w, http.StatusOK, certainResponse{
+		Query:   plan.Query.String(),
+		Certain: res.Certain,
+		Class:   res.Class.String(),
+		Engine:  res.Engine.String(),
+		Cached:  hit,
+		DB:      ref,
+	})
+}
+
+func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
+	var req certainRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Free) == 0 {
+		httpError(w, http.StatusBadRequest, "missing \"free\": the designated free variables")
+		return
+	}
+	plan, hit, ok := s.compile(w, req.Query)
+	if !ok {
+		return
+	}
+	opts, ok := parseEngine(w, req.Engine)
+	if !ok {
+		return
+	}
+	d, ref, ok := s.resolveDB(w, req, plan)
+	if !ok {
+		return
+	}
+	free := make([]query.Var, len(req.Free))
+	for i, name := range req.Free {
+		free[i] = query.Var(name)
+	}
+	vals, err := plan.CertainAnswers(free, d, opts)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	answers := make([]map[string]string, len(vals))
+	for i, v := range vals {
+		m := make(map[string]string, len(v))
+		for x, c := range v {
+			m[string(x)] = string(c)
+		}
+		answers[i] = m
+	}
+	writeJSON(w, http.StatusOK, answersResponse{
+		Query:   plan.Query.String(),
+		Free:    req.Free,
+		Answers: answers,
+		Count:   len(answers),
+		Class:   plan.Class.String(),
+		Cached:  hit,
+		DB:      ref,
+	})
+}
+
+func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
+	var req rewriteRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	plan, hit, ok := s.compile(w, req.Query)
+	if !ok {
+		return
+	}
+	if plan.Formula == nil {
+		httpError(w, http.StatusUnprocessableEntity,
+			"CERTAINTY(%s) is %s; only FO-classified queries have a consistent first-order rewriting",
+			plan.Query, plan.Class)
+		return
+	}
+	dialect := req.Dialect
+	if dialect == "" {
+		dialect = "logic"
+	}
+	var text string
+	switch dialect {
+	case "logic":
+		text = rewrite.Format(plan.Formula)
+	case "sql":
+		sql, err := rewrite.SQL(plan.Query)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		text = sql
+	default:
+		httpError(w, http.StatusBadRequest, "unknown dialect %q (want \"logic\" or \"sql\")", req.Dialect)
+		return
+	}
+	writeJSON(w, http.StatusOK, rewriteResponse{
+		Query:     plan.Query.String(),
+		Class:     plan.Class.String(),
+		Dialect:   dialect,
+		Rewriting: text,
+		Cached:    hit,
+	})
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	entries := catalog.Entries()
+	out := make([]catalogEntry, len(entries))
+	for i, e := range entries {
+		out[i] = catalogEntry{Name: e.Name, Query: e.Query, Class: e.Class.String(), Source: e.Source}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func snapshotJSON(snap *store.Snapshot) snapshotInfo {
+	return snapshotInfo{
+		Name:      snap.Name,
+		Version:   snap.Version,
+		Facts:     snap.Facts,
+		Blocks:    snap.Blocks,
+		Relations: snap.Relations,
+		LoadedAt:  snap.LoadedAt.UTC().Format(time.RFC3339Nano),
+	}
+}
+
+func (s *Server) handleDBPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	snap, err := s.store.PutFacts(name, string(body))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotJSON(snap))
+}
+
+func (s *Server) handleDBGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	snap, ok := s.store.Get(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown database %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotJSON(snap))
+}
+
+func (s *Server) handleDBDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.store.Delete(name) {
+		httpError(w, http.StatusNotFound, "unknown database %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDBList(w http.ResponseWriter, r *http.Request) {
+	snaps := s.store.List()
+	out := make([]snapshotInfo, len(snaps))
+	for i, snap := range snaps {
+		out[i] = snapshotJSON(snap)
+	}
+	writeJSON(w, http.StatusOK, out)
+}

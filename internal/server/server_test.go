@@ -1,0 +1,329 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"cqa/internal/catalog"
+	"cqa/internal/core"
+	"cqa/internal/workload"
+)
+
+func newTestServer() *Server {
+	return New(Config{CacheSize: 256, MaxWorkers: 8})
+}
+
+// do issues one request against the handler and decodes the JSON reply
+// into out (skipped when out is nil).
+func do(t *testing.T, h http.Handler, method, path, body string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Code < 300 {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: invalid JSON: %v\n%s", method, path, err, rec.Body.String())
+		}
+	}
+	return rec
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	h := newTestServer().Handler()
+	if rec := do(t, h, "GET", "/healthz", "", nil); rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Errorf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+	rec := do(t, h, "GET", "/metrics", "", nil)
+	if rec.Code != 200 {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	for _, frag := range []string{"cqa_uptime_seconds", "cqa_plancache_hits_total", "cqa_store_databases"} {
+		if !strings.Contains(rec.Body.String(), frag) {
+			t.Errorf("metrics missing %q:\n%s", frag, rec.Body.String())
+		}
+	}
+}
+
+func TestClassifyEndpoint(t *testing.T) {
+	h := newTestServer().Handler()
+	var resp classifyResponse
+	rec := do(t, h, "POST", "/v1/classify", `{"query": "R(x | y), S(y | z)"}`, &resp)
+	if rec.Code != 200 || resp.Class != "FO" || resp.Cached {
+		t.Fatalf("cold classify: %d %+v", rec.Code, resp)
+	}
+	// A textual variant hits the same cached plan.
+	rec = do(t, h, "POST", "/v1/classify", `{"query": "  S(y | z) , R(x | y) "}`, &resp)
+	if rec.Code != 200 || !resp.Cached || resp.Query != "R(x | y), S(y | z)" {
+		t.Fatalf("warm classify: %d %+v", rec.Code, resp)
+	}
+	var conp classifyResponse
+	do(t, h, "POST", "/v1/classify", `{"query": "R(x | y), S(u | y)"}`, &conp)
+	if conp.Class != "coNP-complete" || !conp.HasStrongCycle {
+		t.Errorf("coNP classify: %+v", conp)
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	h := newTestServer().Handler()
+	if rec := do(t, h, "POST", "/v1/classify", `{not json`, nil); rec.Code != 400 {
+		t.Errorf("malformed JSON: %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/v1/classify", `{}`, nil); rec.Code != 400 {
+		t.Errorf("missing query: %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/v1/classify", `{"query": "R(("}`, nil); rec.Code != 400 {
+		t.Errorf("syntax error: %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/v1/classify", `{"query": "R(x | y), R(y | z)"}`, nil); rec.Code != 400 {
+		t.Errorf("self-join: %d", rec.Code)
+	}
+	if rec := do(t, h, "GET", "/v1/nope", "", nil); rec.Code != 404 {
+		t.Errorf("unknown route: %d", rec.Code)
+	}
+}
+
+func TestCertainInlineFactsAllEngines(t *testing.T) {
+	h := newTestServer().Handler()
+	body := func(engine string) string {
+		return fmt.Sprintf(`{"query": "R(x | y), S(y | z)", "engine": %q,
+			"facts": "R(a | b)\nS(b | c)\n"}`, engine)
+	}
+	for _, engine := range []string{"auto", "fo", "ptime", "conp", "naive"} {
+		var resp certainResponse
+		rec := do(t, h, "POST", "/v1/certain", body(engine), &resp)
+		if rec.Code != 200 || !resp.Certain {
+			t.Errorf("engine %s: %d %+v", engine, rec.Code, resp)
+		}
+		want := engine
+		if engine == "auto" {
+			want = "fo"
+		}
+		if resp.Engine != want {
+			t.Errorf("engine %s: dispatched to %s", engine, resp.Engine)
+		}
+	}
+	if rec := do(t, h, "POST", "/v1/certain", body("zzz"), nil); rec.Code != 400 {
+		t.Errorf("unknown engine: %d", rec.Code)
+	}
+	// Forcing FO on a cyclic query is unprocessable.
+	rec := do(t, h, "POST", "/v1/certain",
+		`{"query": "R0(x | y), S0(y | x)", "engine": "fo", "facts": "R0(a | 1)\nS0(1 | a)\n"}`, nil)
+	if rec.Code != 422 {
+		t.Errorf("fo on cyclic: %d %s", rec.Code, rec.Body.String())
+	}
+	// A mode-c violation in inline facts is a client error.
+	rec = do(t, h, "POST", "/v1/certain",
+		`{"query": "T#c(x | y)", "facts": "T#c(a | 1)\nT#c(a | 2)\n"}`, nil)
+	if rec.Code != 400 {
+		t.Errorf("mode-c violation: %d", rec.Code)
+	}
+}
+
+func TestCertainStoredDB(t *testing.T) {
+	h := newTestServer().Handler()
+	rec := do(t, h, "PUT", "/v1/db/prod", "R(a | b)\nR(a | dead)\nS(b | c)\n", nil)
+	if rec.Code != 200 {
+		t.Fatalf("upload: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp certainResponse
+	rec = do(t, h, "POST", "/v1/certain", `{"query": "R(x | y), S(y | z)", "db": "prod"}`, &resp)
+	if rec.Code != 200 || resp.Certain || resp.DB == nil || resp.DB.Version != 1 {
+		t.Fatalf("stored db: %d %+v", rec.Code, resp)
+	}
+	// Replacing the database bumps the version new requests see.
+	do(t, h, "PUT", "/v1/db/prod", "R(a | b)\nS(b | c)\n", nil)
+	rec = do(t, h, "POST", "/v1/certain", `{"query": "R(x | y), S(y | z)", "db": "prod"}`, &resp)
+	if rec.Code != 200 || !resp.Certain || resp.DB.Version != 2 {
+		t.Fatalf("after swap: %d %+v", rec.Code, resp)
+	}
+	if rec := do(t, h, "POST", "/v1/certain", `{"query": "R(x | y)", "db": "missing"}`, nil); rec.Code != 404 {
+		t.Errorf("unknown db: %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/v1/certain", `{"query": "R(x | y)"}`, nil); rec.Code != 400 {
+		t.Errorf("neither db nor facts: %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/v1/certain", `{"query": "R(x | y)", "db": "prod", "facts": "R(a | b)\n"}`, nil); rec.Code != 400 {
+		t.Errorf("both db and facts: %d", rec.Code)
+	}
+	// Stored signature R(a | b) conflicts with a composite-key query.
+	if rec := do(t, h, "POST", "/v1/certain", `{"query": "R(x, y | z)", "db": "prod"}`, nil); rec.Code != 400 {
+		t.Errorf("schema mismatch: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestAnswersEndpoint(t *testing.T) {
+	h := newTestServer().Handler()
+	body := `{"query": "Product(pid | sid), Supplier(sid | 'DE')", "free": ["pid"],
+		"facts": "Product(p1 | acme)\nProduct(p2 | globex)\nProduct(p2 | initech)\nSupplier(acme | DE)\nSupplier(globex | DE)\nSupplier(initech | US)\n"}`
+	var resp answersResponse
+	rec := do(t, h, "POST", "/v1/answers", body, &resp)
+	if rec.Code != 200 {
+		t.Fatalf("answers: %d %s", rec.Code, rec.Body.String())
+	}
+	if resp.Count != 1 || resp.Answers[0]["pid"] != "p1" {
+		t.Errorf("answers = %+v", resp)
+	}
+	if rec := do(t, h, "POST", "/v1/answers", `{"query": "R(x | y)", "facts": "R(a | b)\n"}`, nil); rec.Code != 400 {
+		t.Errorf("missing free: %d", rec.Code)
+	}
+	rec = do(t, h, "POST", "/v1/answers", `{"query": "R(x | y)", "free": ["nope"], "facts": "R(a | b)\n"}`, nil)
+	if rec.Code != 422 {
+		t.Errorf("unknown free var: %d", rec.Code)
+	}
+}
+
+func TestRewriteEndpoint(t *testing.T) {
+	h := newTestServer().Handler()
+	var resp rewriteResponse
+	rec := do(t, h, "POST", "/v1/rewrite", `{"query": "R(x | y), S(y | 'b')"}`, &resp)
+	if rec.Code != 200 || resp.Dialect != "logic" || !strings.Contains(resp.Rewriting, "∃") {
+		t.Fatalf("logic rewrite: %d %+v", rec.Code, resp)
+	}
+	rec = do(t, h, "POST", "/v1/rewrite", `{"query": "R(x | y), S(y | 'b')", "dialect": "sql"}`, &resp)
+	if rec.Code != 200 || !strings.Contains(resp.Rewriting, "NOT EXISTS") {
+		t.Fatalf("sql rewrite: %d %+v", rec.Code, resp)
+	}
+	if rec := do(t, h, "POST", "/v1/rewrite", `{"query": "R0(x | y), S0(y | x)"}`, nil); rec.Code != 422 {
+		t.Errorf("non-FO rewrite: %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/v1/rewrite", `{"query": "R(x | y)", "dialect": "cobol"}`, nil); rec.Code != 400 {
+		t.Errorf("unknown dialect: %d", rec.Code)
+	}
+}
+
+func TestCatalogEndpoint(t *testing.T) {
+	h := newTestServer().Handler()
+	var entries []catalogEntry
+	rec := do(t, h, "GET", "/v1/catalog", "", &entries)
+	if rec.Code != 200 || len(entries) != len(catalog.Entries()) {
+		t.Fatalf("catalog: %d, %d entries", rec.Code, len(entries))
+	}
+}
+
+func TestDBLifecycle(t *testing.T) {
+	h := newTestServer().Handler()
+	var snap snapshotInfo
+	rec := do(t, h, "PUT", "/v1/db/d1", "R(a | b)\nR(a | c)\n", &snap)
+	if rec.Code != 200 || snap.Facts != 2 || snap.Blocks != 1 || snap.Version != 1 {
+		t.Fatalf("put: %d %+v", rec.Code, snap)
+	}
+	rec = do(t, h, "GET", "/v1/db/d1", "", &snap)
+	if rec.Code != 200 || snap.Name != "d1" {
+		t.Fatalf("get: %d %+v", rec.Code, snap)
+	}
+	var list []snapshotInfo
+	rec = do(t, h, "GET", "/v1/db", "", &list)
+	if rec.Code != 200 || len(list) != 1 {
+		t.Fatalf("list: %d %+v", rec.Code, list)
+	}
+	if rec := do(t, h, "DELETE", "/v1/db/d1", "", nil); rec.Code != 204 {
+		t.Errorf("delete: %d", rec.Code)
+	}
+	if rec := do(t, h, "GET", "/v1/db/d1", "", nil); rec.Code != 404 {
+		t.Errorf("get after delete: %d", rec.Code)
+	}
+	if rec := do(t, h, "DELETE", "/v1/db/d1", "", nil); rec.Code != 404 {
+		t.Errorf("double delete: %d", rec.Code)
+	}
+	if rec := do(t, h, "PUT", "/v1/db/bad", "R(a | b\n", nil); rec.Code != 400 {
+		t.Errorf("malformed upload: %d", rec.Code)
+	}
+	if rec := do(t, h, "PUT", "/v1/db/bad", "T#c(a | 1)\nT#c(a | 2)\n", nil); rec.Code != 400 {
+		t.Errorf("mode-c violating upload: %d", rec.Code)
+	}
+}
+
+// TestCertainAllCatalogQueries serves every catalog query over HTTP on a
+// generated instance and cross-checks the answer against the in-process
+// engine — the acceptance check that FO, P, and coNP engines are all
+// reachable through /v1/certain.
+func TestCertainAllCatalogQueries(t *testing.T) {
+	h := newTestServer().Handler()
+	engines := map[string]bool{}
+	rng := rand.New(rand.NewSource(1))
+	p := workload.DefaultDBParams()
+	p.SeedMatches = 2
+	for _, e := range catalog.Entries() {
+		q := e.MustQuery()
+		d := workload.RandomDB(rng, q, p)
+		want, err := core.Certain(q, d, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: local: %v", e.Name, err)
+		}
+		payload, err := json.Marshal(certainRequest{Query: e.Query, Facts: d.String() + "\n"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp certainResponse
+		rec := do(t, h, "POST", "/v1/certain", string(payload), &resp)
+		if rec.Code != 200 {
+			t.Fatalf("%s: %d %s", e.Name, rec.Code, rec.Body.String())
+		}
+		if resp.Certain != want.Certain || resp.Class != want.Class.String() {
+			t.Errorf("%s: served %+v, local %+v", e.Name, resp, want)
+		}
+		engines[resp.Engine] = true
+	}
+	for _, engine := range []string{"fo", "ptime", "conp"} {
+		if !engines[engine] {
+			t.Errorf("engine %s never dispatched across the catalog", engine)
+		}
+	}
+}
+
+// TestConcurrentCertainAndUploads hammers the plan cache from 32
+// goroutines while snapshots are swapped underneath; run with -race.
+func TestConcurrentCertainAndUploads(t *testing.T) {
+	srv := New(Config{CacheSize: 8, MaxWorkers: 16})
+	h := srv.Handler()
+	queries := []string{
+		"R(x | y), S(y | z)",
+		"R0(x | y), S0(y | x)",
+		"R(x | y), S(u | y)",
+		"A(x | y), B(y | z), C(z | w)",
+	}
+	if rec := do(t, h, "PUT", "/v1/db/hot", "R(a | b)\nS(b | c)\n", nil); rec.Code != 200 {
+		t.Fatal("seed upload failed")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if g%8 == 0 {
+					// Writers swap in a fresh snapshot.
+					facts := fmt.Sprintf("R(a | b%d)\nS(b%d | c)\n", i, i)
+					req := httptest.NewRequest("PUT", "/v1/db/hot", strings.NewReader(facts))
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != 200 {
+						t.Errorf("writer %d: %d %s", g, rec.Code, rec.Body.String())
+						return
+					}
+					continue
+				}
+				qtext := queries[(g+i)%len(queries)]
+				body, _ := json.Marshal(certainRequest{Query: qtext, DB: "hot"})
+				req := httptest.NewRequest("POST", "/v1/certain", strings.NewReader(string(body)))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != 200 {
+					t.Errorf("reader %d: %d %s", g, rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := srv.Cache().Stats()
+	if st.Hits == 0 {
+		t.Error("no cache hits under concurrency")
+	}
+}

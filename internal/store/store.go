@@ -1,0 +1,112 @@
+// Package store keeps named uncertain databases for the serving layer.
+// Each upload builds a complete immutable Snapshot and swaps it in
+// atomically under a write lock: requests that already resolved a name
+// keep evaluating against the snapshot they hold, while new requests see
+// the new version. Nothing in a published snapshot is ever mutated, so
+// snapshots may be shared freely across goroutines.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cqa/internal/db"
+)
+
+// Snapshot is one immutable version of a named database.
+type Snapshot struct {
+	Name      string
+	DB        *db.DB
+	Version   uint64 // 1 for the first upload, +1 per replacement
+	Facts     int
+	Blocks    int
+	Relations []string
+	LoadedAt  time.Time
+}
+
+// Store is a registry of named database snapshots. The zero value is
+// not ready; use New. All methods are safe for concurrent use.
+type Store struct {
+	mu  sync.RWMutex
+	dbs map[string]*Snapshot
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{dbs: make(map[string]*Snapshot)}
+}
+
+// Put publishes d as the new snapshot of the named database and returns
+// it. The caller must not modify d afterwards; the store and all
+// readers treat it as frozen.
+func (s *Store) Put(name string, d *db.DB) *Snapshot {
+	snap := &Snapshot{
+		Name:      name,
+		DB:        d,
+		Facts:     d.Len(),
+		Blocks:    d.NumBlocks(),
+		Relations: d.Relations(),
+		LoadedAt:  time.Now(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap.Version = 1
+	if prev, ok := s.dbs[name]; ok {
+		snap.Version = prev.Version + 1
+	}
+	s.dbs[name] = snap
+	return snap
+}
+
+// PutFacts parses a facts text (one fact per line, signatures inferred
+// from the bar syntax) and publishes it under the name. Uploads whose
+// mode-c relations violate their primary key are rejected: such inputs
+// are not legal instances of CERTAINTY(q).
+func (s *Store) PutFacts(name, text string) (*Snapshot, error) {
+	d, err := db.ParseFacts(nil, text)
+	if err != nil {
+		return nil, err
+	}
+	if !d.ConsistentFor() {
+		return nil, fmt.Errorf("store: a mode-c relation of %q violates its primary key", name)
+	}
+	return s.Put(name, d), nil
+}
+
+// Get returns the current snapshot of the named database.
+func (s *Store) Get(name string) (*Snapshot, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap, ok := s.dbs[name]
+	return snap, ok
+}
+
+// Delete removes the named database; it reports whether it existed.
+func (s *Store) Delete(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.dbs[name]
+	delete(s.dbs, name)
+	return ok
+}
+
+// List returns the current snapshots sorted by name.
+func (s *Store) List() []*Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Snapshot, 0, len(s.dbs))
+	for _, snap := range s.dbs {
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of named databases.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.dbs)
+}
