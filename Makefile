@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check bench fuzz vet fmt experiments clean
+.PHONY: all build test test-short race check bench bench-smoke fuzz vet fmt experiments clean
 
 all: build test
 
@@ -18,14 +18,21 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# Tier-1 gate: build + full tests, vet, and race-enabled tests for the
-# concurrent packages (server, plan cache, db store).
-check: build test
+# Tier-1 gate: build + full tests, vet, race-enabled tests for the
+# concurrent packages (server, plan cache, db store, core worker pool,
+# db index), and a one-iteration smoke run of the evaluation benchmarks.
+check: build test bench-smoke
 	$(GO) vet ./...
-	$(GO) test -race ./internal/server ./internal/plancache ./internal/store
+	$(GO) test -race ./internal/server ./internal/plancache ./internal/store ./internal/core ./internal/db ./internal/rewrite
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of the E-index evaluation benchmarks: verifies the
+# compiled-plan and worker-pool paths still run end to end without
+# paying for a full timed sweep.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='CertainAcyclic|CertainAnswersPool' -benchtime=1x .
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/query/

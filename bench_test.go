@@ -17,6 +17,7 @@ import (
 	"cqa/internal/attack"
 	"cqa/internal/baseline"
 	"cqa/internal/conp"
+	"cqa/internal/core"
 	"cqa/internal/counting"
 	"cqa/internal/db"
 	"cqa/internal/match"
@@ -311,6 +312,77 @@ func BenchmarkServeCertainWarmCache(b *testing.B) {
 			post(b, ts.Client(), ts.URL, bodies[i])
 		}
 	})
+}
+
+// --- E-index: plan-compiled, index-backed evaluation ---
+
+// falsifiedChainDB builds a chain instance with the given total number
+// of blocks (half R, half S) on which the chain query is NOT certain:
+// every R-block has one fact whose y-value lacks an S-fact, so a sound
+// evaluator must visit every block of both relations — the worst case
+// for the Lemma 9/10 block loop, and the case where a per-call block
+// re-scan turns the FO engine quadratic.
+func falsifiedChainDB(blocks int) *db.DB {
+	q := query.MustParse("R(x | y), S(y | z)")
+	d := db.New()
+	for i := 0; i < blocks/2; i++ {
+		x := query.Const(fmt.Sprintf("x%d", i))
+		y := query.Const(fmt.Sprintf("y%d", i))
+		yBad := query.Const(fmt.Sprintf("y%d_bad", i))
+		d.Add(db.Fact{Rel: q.Atoms[0].Rel, Args: []query.Const{x, y}})
+		d.Add(db.Fact{Rel: q.Atoms[0].Rel, Args: []query.Const{x, yBad}})
+		d.Add(db.Fact{Rel: q.Atoms[1].Rel, Args: []query.Const{y, "z"}})
+	}
+	return d
+}
+
+// benchmarkCertainAcyclic measures the data-side cost of one certainty
+// decision for the FO chain query against a pre-compiled plan, the
+// serving hot path: plan compilation is outside the timer, so the
+// number is pure evaluation (block iteration, key probes, recursion).
+func benchmarkCertainAcyclic(b *testing.B, blocks int) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	plan, err := core.Compile(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := falsifiedChainDB(blocks)
+	if res, err := plan.Certain(d, core.Options{}); err != nil || res.Certain {
+		b.Fatalf("want certain=false, err=nil; got %v, %v", res.Certain, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Certain(d, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCertainAcyclic1k(b *testing.B)   { benchmarkCertainAcyclic(b, 1000) }
+func BenchmarkCertainAcyclic10k(b *testing.B)  { benchmarkCertainAcyclic(b, 10000) }
+func BenchmarkCertainAcyclic100k(b *testing.B) { benchmarkCertainAcyclic(b, 100000) }
+
+// BenchmarkCertainAnswersPool measures the non-Boolean path: enumerate
+// candidate bindings of x and decide certainty per candidate.
+func BenchmarkCertainAnswersPool(b *testing.B) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	plan, err := core.Compile(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := chainDB(500, 0.3, 7)
+	free := []query.Var{"x"}
+	if _, err := plan.CertainAnswers(free, d, core.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.CertainAnswers(free, d, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- E8: SQL bridge ---

@@ -253,14 +253,19 @@ func RunRewrite(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	emit := func(q query.Query) (string, error) {
-		if *sqlOut {
-			return rewrite.SQL(q)
-		}
-		f, err := rewrite.RewritingPretty(q)
+		// Compile once; both dialects render from the plan's formula, so
+		// the attack graph is built a single time per query.
+		plan, err := core.Compile(q)
 		if err != nil {
 			return "", err
 		}
-		return rewrite.Format(f), nil
+		if plan.Formula == nil {
+			return "", fmt.Errorf("rewrite: attack graph of %s is cyclic; no first-order rewriting exists", q)
+		}
+		if *sqlOut {
+			return rewrite.SQLFromFormula(plan.Formula), nil
+		}
+		return rewrite.Format(rewrite.Simplify(plan.Formula)), nil
 	}
 	if *cat {
 		for _, e := range catalog.Entries() {
@@ -299,6 +304,7 @@ func RunBench(args []string, stdout, stderr io.Writer) int {
 	quick := fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	list := fs.Bool("list", false, "list experiments and exit")
 	seed := fs.Int64("seed", 1, "random seed")
+	evalJSON := fs.String("evaljson", "", "run the E-index evaluation benchmarks and write the JSON report to this path")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -309,6 +315,13 @@ func RunBench(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	r := &experiments.Runner{Out: stdout, Quick: *quick, Seed: *seed}
+	if *evalJSON != "" {
+		if err := r.WriteEvalJSON(*evalJSON); err != nil {
+			fmt.Fprintln(stderr, "cqa-bench:", err)
+			return 1
+		}
+		return 0
+	}
 	if err := r.Run(*exp); err != nil {
 		fmt.Fprintln(stderr, "cqa-bench:", err)
 		return 1

@@ -132,6 +132,10 @@ func ParseEngine(s string) (Engine, error) {
 type Options struct {
 	// Engine forces a specific engine; EngineAuto selects by class.
 	Engine Engine
+	// Workers bounds the worker pool CertainAnswers uses to check
+	// candidate bindings; <= 0 selects GOMAXPROCS. 1 forces sequential
+	// checking.
+	Workers int
 }
 
 // Result reports a certain-answer decision.

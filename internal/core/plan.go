@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"cqa/internal/conp"
 	"cqa/internal/db"
@@ -14,11 +16,12 @@ import (
 
 // Plan is a compiled certainty plan: the per-query work of the
 // trichotomy — attack-graph construction, classification, and (for FO
-// queries) the symbolic first-order rewriting — done exactly once. The
-// per-query work is polynomial in |q| and independent of the data
-// (Lemma 3), so a long-running process compiles each distinct query
-// into a Plan and answers every data-side request from it, skipping
-// attack-graph construction entirely on the hot path.
+// queries) the symbolic first-order rewriting plus the compiled
+// atom-elimination order — done exactly once. The per-query work is
+// polynomial in |q| and independent of the data (Lemma 3), so a
+// long-running process compiles each distinct query into a Plan and
+// answers every data-side request from it, building no attack graph on
+// the hot path.
 //
 // A Plan is immutable after Compile and safe for concurrent use.
 type Plan struct {
@@ -26,12 +29,18 @@ type Plan struct {
 	// Formula is the consistent first-order rewriting of CERTAINTY(q)
 	// (Theorem 2 / Lemma 10); nil unless Class == FO.
 	Formula rewrite.Formula
+	// Elim is the compiled atom-elimination order the FO engine walks
+	// (Lemma 6 fixes the unattacked-atom choice per query pattern); nil
+	// unless Class == FO.
+	Elim *rewrite.Eliminator
 
 	key string
 }
 
 // Compile classifies q and, when CERTAINTY(q) is in FO, constructs its
-// first-order rewriting. The query must be self-join-free.
+// first-order rewriting and compiles the elimination order. The query
+// must be self-join-free. The attack graph is built exactly once — the
+// rewriting and the eliminator reuse the classification.
 func Compile(q query.Query) (*Plan, error) {
 	cls, err := Classify(q)
 	if err != nil {
@@ -39,11 +48,12 @@ func Compile(q query.Query) (*Plan, error) {
 	}
 	p := &Plan{Classification: cls, key: q.Canonical()}
 	if cls.Class == FO {
-		f, err := rewrite.Rewriting(q)
+		p.Formula = rewrite.RewritingAcyclic(q)
+		el, err := rewrite.CompileAcyclic(q)
 		if err != nil {
 			return nil, err
 		}
-		p.Formula = f
+		p.Elim = el
 	}
 	return p, nil
 }
@@ -80,6 +90,13 @@ func (p *Plan) Engine(opts Options) Engine {
 // Certain decides whether every repair of d satisfies the plan's query,
 // reusing the compiled classification instead of re-running Classify.
 func (p *Plan) Certain(d *db.DB, opts Options) (Result, error) {
+	return p.CertainIndexed(match.NewIndex(d), opts)
+}
+
+// CertainIndexed is Certain against a pre-built index — the serving hot
+// path, where the index is cached per database snapshot and shared
+// across requests and goroutines.
+func (p *Plan) CertainIndexed(ix *match.Index, opts Options) (Result, error) {
 	engine := p.Engine(opts)
 	res := Result{Class: p.Class, Engine: engine}
 	var err error
@@ -88,13 +105,20 @@ func (p *Plan) Certain(d *db.DB, opts Options) (Result, error) {
 		if p.HasCycle {
 			return Result{}, fmt.Errorf("core: attack graph of %s is cyclic; CERTAINTY is not in FO", p.Query)
 		}
-		res.Certain = rewrite.CertainAcyclic(p.Query, d)
+		if p.Elim != nil {
+			res.Certain = p.Elim.Certain(ix)
+		} else {
+			res.Certain = rewrite.CertainAcyclic(p.Query, ix.DB)
+		}
 	case EnginePTime:
-		res.Certain, _, err = ptime.Certain(p.Query, d)
+		if p.HasStrongCycle {
+			return Result{}, fmt.Errorf("core: attack graph of %s has a strong cycle; CERTAINTY is coNP-complete", p.Query)
+		}
+		res.Certain, _, err = ptime.CertainNoStrongCycle(p.Query, ix.DB)
 	case EngineCoNP:
-		res.Certain, _ = conp.Certain(p.Query, d)
+		res.Certain, _ = conp.Certain(p.Query, ix.DB)
 	case EngineNaive:
-		res.Certain, err = naive.Certain(p.Query, d)
+		res.Certain, err = naive.Certain(p.Query, ix.DB)
 	default:
 		err = fmt.Errorf("core: unknown engine %v", engine)
 	}
@@ -107,51 +131,102 @@ func (p *Plan) Certain(d *db.DB, opts Options) (Result, error) {
 // CertainAnswers lifts the plan to non-Boolean queries: for the given
 // free variables it returns every binding (drawn from embeddings into d)
 // whose instantiated Boolean query is certain, in deterministic order.
-//
-// For FO plans each instantiated query is decided by the Lemma 10
-// recursion directly: instantiating variables with constants never adds
-// attacks (Lemma 6), so acyclicity is inherited and no per-binding
-// reclassification is needed. For the other classes instantiation can
-// only make the query easier, so each binding is dispatched through
-// Certain, which classifies the instantiated query.
 func (p *Plan) CertainAnswers(free []query.Var, d *db.DB, opts Options) ([]query.Valuation, error) {
+	return p.CertainAnswersIndexed(free, match.NewIndex(d), opts)
+}
+
+// CertainAnswersIndexed is CertainAnswers against a pre-built index.
+//
+// Candidate bindings are the projections of embeddings into the
+// database; each candidate's certainty check is independent, so the
+// checks run on a bounded worker pool (Options.Workers) sharing the
+// read-only index. For FO plans each candidate is decided by the
+// compiled eliminator seeded with the candidate binding: instantiating
+// variables with constants never adds attacks (Lemma 6), so acyclicity
+// and the elimination order are inherited and no per-binding
+// reclassification or query substitution happens. For the other classes
+// instantiation can only make the query easier, and each binding is
+// dispatched through Certain, which classifies the instantiated query.
+func (p *Plan) CertainAnswersIndexed(free []query.Var, ix *match.Index, opts Options) ([]query.Valuation, error) {
 	vars := p.Query.Vars()
 	for _, v := range free {
 		if !vars.Has(v) {
 			return nil, fmt.Errorf("core: free variable %s does not occur in %s", v, p.Query)
 		}
 	}
-	fastFO := p.Engine(opts) == EngineFO && !p.HasCycle
+	fastFO := p.Engine(opts) == EngineFO && !p.HasCycle && p.Elim != nil
 
 	// Candidate answers: projections of embeddings into d. Any certain
 	// answer must be one of these (the instantiated query must hold in
 	// the repair d' ⊆ d... every repair embeds it into d).
 	freeSet := query.NewVarSet(free...)
-	seen := make(map[string]query.Valuation)
-	var order []string
-	for _, m := range match.AllMatches(p.Query, d) {
+	var candidates []query.Valuation
+	seen := make(map[string]bool)
+	ix.Match(p.Query, query.Valuation{}, func(m query.Valuation) bool {
 		proj := m.Restrict(freeSet)
 		k := proj.Key()
-		if _, ok := seen[k]; !ok {
-			seen[k] = proj
-			order = append(order, k)
+		if !seen[k] {
+			seen[k] = true
+			candidates = append(candidates, proj)
 		}
-	}
-	var out []query.Valuation
-	for _, k := range order {
-		proj := seen[k]
-		qi := p.Query.Substitute(proj)
-		var certain bool
+		return true
+	})
+
+	check := func(proj query.Valuation) (bool, error) {
 		if fastFO {
-			certain = rewrite.CertainAcyclic(qi, d)
-		} else {
-			res, err := Certain(qi, d, opts)
-			if err != nil {
-				return nil, err
-			}
-			certain = res.Certain
+			return p.Elim.CertainWith(ix, proj), nil
 		}
-		if certain {
+		qi := p.Query.Substitute(proj)
+		res, err := Certain(qi, ix.DB, opts)
+		if err != nil {
+			return false, err
+		}
+		return res.Certain, nil
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+
+	certain := make([]bool, len(candidates))
+	errs := make([]error, len(candidates))
+	if workers <= 1 {
+		for i, proj := range candidates {
+			certain[i], errs[i] = check(proj)
+		}
+	} else {
+		// Warm the shared index once so the workers never race to build
+		// it (the build is atomic either way; this just avoids duplicate
+		// work on a cold snapshot).
+		ix.DB.Blocks()
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					certain[i], errs[i] = check(candidates[i])
+				}
+			}()
+		}
+		for i := range candidates {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	var out []query.Valuation
+	for i, proj := range candidates {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if certain[i] {
 			out = append(out, proj)
 		}
 	}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
+	"cqa/internal/match"
 	"cqa/internal/naive"
 	"cqa/internal/query"
 	"cqa/internal/workload"
@@ -141,4 +143,83 @@ func TestPlanCertainAnswersMatchesPackageLevel(t *testing.T) {
 	if _, err := p.CertainAnswers([]query.Var{"nope"}, nil, Options{}); err == nil {
 		t.Error("unknown free variable accepted")
 	}
+}
+
+// TestCertainAnswersParallelMatchesSequential: the bounded worker pool
+// returns exactly the answers of the sequential path, in the same order,
+// for every trichotomy class. Run with -race to exercise the pool.
+func TestCertainAnswersParallelMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		qs   string
+		free []query.Var
+	}{
+		{"R(x | y), S(y | z)", []query.Var{"x"}},      // FO: compiled eliminator
+		{"R0(x | y), S0(y | x)", []query.Var{"x"}},    // P\FO
+		{"R(x | y), S(u | y)", []query.Var{"x", "u"}}, // coNP-complete
+	} {
+		q := query.MustParse(tc.qs)
+		p, err := Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(61))
+		for trial := 0; trial < 15; trial++ {
+			d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+			if d.NumRepairs() > 1<<12 {
+				continue
+			}
+			seq, err := p.CertainAnswers(tc.free, d, Options{Workers: 1})
+			if err != nil {
+				t.Fatalf("%s: sequential: %v", tc.qs, err)
+			}
+			par, err := p.CertainAnswers(tc.free, d, Options{Workers: 8})
+			if err != nil {
+				t.Fatalf("%s: parallel: %v", tc.qs, err)
+			}
+			if len(seq) != len(par) {
+				t.Fatalf("%s trial %d: sequential %v != parallel %v", tc.qs, trial, seq, par)
+			}
+			for i := range seq {
+				if seq[i].Key() != par[i].Key() {
+					t.Fatalf("%s trial %d: answer %d: %v != %v (order must be deterministic)",
+						tc.qs, trial, i, seq[i], par[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCertainAnswersSharedIndexConcurrent: concurrent requests share one
+// snapshot index while each runs its own worker pool; run with -race.
+func TestCertainAnswersSharedIndexConcurrent(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	p, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	dp := workload.DefaultDBParams()
+	dp.SeedMatches = 8
+	d := workload.RandomDB(rng, q, dp)
+	ix := match.NewIndex(d)
+	want, err := p.CertainAnswersIndexed([]query.Var{"x"}, ix, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := p.CertainAnswersIndexed([]query.Var{"x"}, ix, Options{Workers: 4})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(got) != len(want) {
+				t.Errorf("concurrent request: %v != %v", got, want)
+			}
+		}()
+	}
+	wg.Wait()
 }

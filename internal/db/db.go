@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"cqa/internal/query"
 	"cqa/internal/schema"
@@ -122,13 +123,93 @@ type Block struct {
 // DB is an uncertain database: a set of facts with stable insertion order
 // and indexes by relation and by block. The zero value is not ready; use
 // New.
+//
+// Every engine path loads a database once and then only reads it, so the
+// derived lookup structures — materialized blocks, per-relation fact and
+// block slices, the key→block hash, and the active domain — are memoized
+// on first use and invalidated by Add. Concurrent readers are safe (the
+// memo is published through an atomic pointer); mutation (Add) must not
+// race with readers, as before.
 type DB struct {
 	facts   []Fact
 	present map[string]bool  // fact ID -> present
 	byRel   map[string][]int // relation name -> fact positions
 	byBlock map[string][]int // block ID -> fact positions
 	order   []string         // block IDs in first-seen order
+	memo    atomic.Pointer[dbIndex]
 }
+
+// dbIndex holds the derived read-only lookup structures. It is built in
+// one pass over the facts and shared by all readers; the Fact slices
+// inside are owned by the index, so callers of the accessor methods must
+// treat them as immutable.
+type dbIndex struct {
+	blocks    []Block            // all blocks, first-seen order
+	byID      map[string]int     // block ID -> position in blocks
+	relBlocks map[string][]Block // relation name -> its blocks, first-seen order
+	relFacts  map[string][]Fact  // relation name -> facts, insertion order
+	adom      []query.Const      // active domain, sorted
+}
+
+// index returns the memoized lookup structures, building them on first
+// use. Racing builders may construct the index twice; both results are
+// identical and either may win the publish, so readers are always
+// consistent.
+func (d *DB) index() *dbIndex {
+	if ix := d.memo.Load(); ix != nil {
+		return ix
+	}
+	ix := d.buildIndex()
+	d.memo.CompareAndSwap(nil, ix)
+	return d.memo.Load()
+}
+
+func (d *DB) buildIndex() *dbIndex {
+	ix := &dbIndex{
+		blocks:    make([]Block, 0, len(d.order)),
+		byID:      make(map[string]int, len(d.order)),
+		relBlocks: make(map[string][]Block, len(d.byRel)),
+		relFacts:  make(map[string][]Fact, len(d.byRel)),
+	}
+	for _, bid := range d.order {
+		positions := d.byBlock[bid]
+		fs := make([]Fact, len(positions))
+		for i, p := range positions {
+			fs[i] = d.facts[p]
+		}
+		b := Block{ID: bid, Facts: fs}
+		ix.byID[bid] = len(ix.blocks)
+		ix.blocks = append(ix.blocks, b)
+		if len(fs) > 0 {
+			name := fs[0].Rel.Name
+			ix.relBlocks[name] = append(ix.relBlocks[name], b)
+		}
+	}
+	for name, positions := range d.byRel {
+		fs := make([]Fact, len(positions))
+		for i, p := range positions {
+			fs[i] = d.facts[p]
+		}
+		ix.relFacts[name] = fs
+	}
+	seen := make(map[query.Const]bool)
+	for _, f := range d.facts {
+		for _, c := range f.Args {
+			seen[c] = true
+		}
+	}
+	ix.adom = make([]query.Const, 0, len(seen))
+	for c := range seen {
+		ix.adom = append(ix.adom, c)
+	}
+	sort.Slice(ix.adom, func(i, j int) bool { return ix.adom[i] < ix.adom[j] })
+	return ix
+}
+
+// ResetCaches drops the memoized lookup structures; they rebuild on next
+// use. Add calls it automatically — it is exported only so cold-path
+// benchmarks can measure the first-request cost of an index build.
+func (d *DB) ResetCaches() { d.memo.Store(nil) }
 
 // New returns an empty uncertain database.
 func New() *DB {
@@ -164,6 +245,7 @@ func (d *DB) Add(f Fact) bool {
 		d.order = append(d.order, bid)
 	}
 	d.byBlock[bid] = append(d.byBlock[bid], pos)
+	d.ResetCaches()
 	return true
 }
 
@@ -178,13 +260,10 @@ func (d *DB) Len() int { return len(d.facts) }
 func (d *DB) Facts() []Fact { return d.facts }
 
 // FactsOf returns the facts of the named relation in insertion order.
+// The returned slice is memoized and shared; the caller must not modify
+// it.
 func (d *DB) FactsOf(relName string) []Fact {
-	positions := d.byRel[relName]
-	out := make([]Fact, len(positions))
-	for i, p := range positions {
-		out[i] = d.facts[p]
-	}
-	return out
+	return d.index().relFacts[relName]
 }
 
 // Relations returns the relation names present in the database, sorted.
@@ -199,40 +278,49 @@ func (d *DB) Relations() []string {
 	return names
 }
 
-// Blocks returns all blocks in first-seen order.
+// Blocks returns all blocks in first-seen order. The returned slice and
+// the fact slices inside are memoized and shared; the caller must not
+// modify them.
 func (d *DB) Blocks() []Block {
-	out := make([]Block, 0, len(d.order))
-	for _, bid := range d.order {
-		out = append(out, d.blockAt(bid))
-	}
-	return out
+	return d.index().blocks
 }
 
 // BlocksOf returns the blocks of the named relation in first-seen order.
+// The returned slice is memoized and shared; the caller must not modify
+// it.
 func (d *DB) BlocksOf(relName string) []Block {
-	var out []Block
-	for _, bid := range d.order {
-		b := d.blockAt(bid)
-		if len(b.Facts) > 0 && b.Facts[0].Rel.Name == relName {
-			out = append(out, b)
-		}
-	}
-	return out
-}
-
-func (d *DB) blockAt(bid string) Block {
-	positions := d.byBlock[bid]
-	fs := make([]Fact, len(positions))
-	for i, p := range positions {
-		fs[i] = d.facts[p]
-	}
-	return Block{ID: bid, Facts: fs}
+	return d.index().relBlocks[relName]
 }
 
 // BlockOf returns block(A, db): the block containing the given fact
 // (facts key-equal to it, whether or not A itself is present).
 func (d *DB) BlockOf(f Fact) Block {
-	return d.blockAt(f.BlockID())
+	bid := f.BlockID()
+	ix := d.index()
+	if pos, ok := ix.byID[bid]; ok {
+		return ix.blocks[pos]
+	}
+	return Block{ID: bid, Facts: nil}
+}
+
+// BlockByKey answers a ground-key probe in O(1): the block of the named
+// relation whose primary-key value equals key, if any. This is the fast
+// path of the Lemma 9/10 branch loop — when the unattacked atom's key is
+// fully instantiated, the one candidate block is hash-looked-up instead
+// of scanning every block of the relation.
+func (d *DB) BlockByKey(relName string, key []query.Const) (Block, bool) {
+	var b strings.Builder
+	b.WriteString(relName)
+	for _, c := range key {
+		b.WriteByte('\x00')
+		b.WriteString(string(c))
+	}
+	ix := d.index()
+	pos, ok := ix.byID[b.String()]
+	if !ok {
+		return Block{}, false
+	}
+	return ix.blocks[pos], true
 }
 
 // Consistent reports whether no two distinct facts are key-equal, i.e.
@@ -274,20 +362,10 @@ func (d *DB) NumRepairs() float64 {
 }
 
 // ActiveDomain returns adom(db): the set of constants occurring in the
-// database, sorted.
+// database, sorted. The returned slice is memoized and shared; the
+// caller must not modify it.
 func (d *DB) ActiveDomain() []query.Const {
-	seen := make(map[query.Const]bool)
-	for _, f := range d.facts {
-		for _, c := range f.Args {
-			seen[c] = true
-		}
-	}
-	out := make([]query.Const, 0, len(seen))
-	for c := range seen {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return d.index().adom
 }
 
 // Clone returns an independent copy of the database.

@@ -228,6 +228,117 @@ func TestNumRepairsMatchesEnumeration(t *testing.T) {
 	}
 }
 
+func TestBlockByKey(t *testing.T) {
+	d := FromFacts(
+		NewFact(relR, "a", "1"),
+		NewFact(relR, "a", "2"),
+		NewFact(relR, "b", "1"),
+		NewFact(relS, "a", "b", "c"),
+	)
+	b, ok := d.BlockByKey("R", []query.Const{"a"})
+	if !ok || len(b.Facts) != 2 {
+		t.Fatalf("BlockByKey(R, a) = %v, %v", b, ok)
+	}
+	b, ok = d.BlockByKey("S", []query.Const{"a", "b"})
+	if !ok || len(b.Facts) != 1 {
+		t.Fatalf("BlockByKey(S, (a,b)) = %v, %v", b, ok)
+	}
+	if _, ok := d.BlockByKey("R", []query.Const{"zzz"}); ok {
+		t.Error("missing key reported found")
+	}
+	if _, ok := d.BlockByKey("Nope", []query.Const{"a"}); ok {
+		t.Error("missing relation reported found")
+	}
+	// BlockByKey agrees with BlockOf for every block of the instance.
+	for _, blk := range d.Blocks() {
+		f := blk.Facts[0]
+		got, ok := d.BlockByKey(f.Rel.Name, f.Key())
+		if !ok || len(got.Facts) != len(blk.Facts) {
+			t.Errorf("BlockByKey(%s, %v) = %v, %v; want %v", f.Rel.Name, f.Key(), got, ok, blk)
+		}
+	}
+}
+
+// TestIndexInvalidationOnAdd: the memoized block/key/active-domain
+// structures are rebuilt after a mutation, so readers never see stale
+// derived state.
+func TestIndexInvalidationOnAdd(t *testing.T) {
+	d := FromFacts(NewFact(relR, "a", "1"))
+	if _, ok := d.BlockByKey("R", []query.Const{"b"}); ok {
+		t.Fatal("block b should not exist yet")
+	}
+	if got := len(d.ActiveDomain()); got != 2 {
+		t.Fatalf("adom size = %d", got)
+	}
+	d.Add(NewFact(relR, "b", "9"))
+	if b, ok := d.BlockByKey("R", []query.Const{"b"}); !ok || len(b.Facts) != 1 {
+		t.Errorf("BlockByKey after Add = %v, %v", b, ok)
+	}
+	if got := len(d.ActiveDomain()); got != 4 {
+		t.Errorf("adom after Add = %d, want 4", got)
+	}
+	d.Add(NewFact(relR, "a", "2"))
+	if b, _ := d.BlockByKey("R", []query.Const{"a"}); len(b.Facts) != 2 {
+		t.Errorf("block a after second Add = %v", b)
+	}
+	if got := len(d.BlocksOf("R")); got != 2 {
+		t.Errorf("BlocksOf(R) = %d blocks, want 2", got)
+	}
+}
+
+// TestDerivedSlicesMemoized: repeated reads return the same backing
+// arrays (no per-call rebuild), and ResetCaches forces a fresh build.
+func TestDerivedSlicesMemoized(t *testing.T) {
+	d := FromFacts(
+		NewFact(relR, "a", "1"),
+		NewFact(relR, "b", "2"),
+	)
+	b1, b2 := d.BlocksOf("R"), d.BlocksOf("R")
+	if &b1[0] != &b2[0] {
+		t.Error("BlocksOf rebuilt between calls")
+	}
+	f1, f2 := d.FactsOf("R"), d.FactsOf("R")
+	if &f1[0] != &f2[0] {
+		t.Error("FactsOf rebuilt between calls")
+	}
+	a1, a2 := d.ActiveDomain(), d.ActiveDomain()
+	if &a1[0] != &a2[0] {
+		t.Error("ActiveDomain rebuilt between calls")
+	}
+	d.ResetCaches()
+	if b3 := d.BlocksOf("R"); &b3[0] == &b1[0] {
+		t.Error("ResetCaches did not invalidate the memoized index")
+	}
+}
+
+// TestConcurrentIndexReads: concurrent first reads of the lazily built
+// index are safe and consistent; run with -race.
+func TestConcurrentIndexReads(t *testing.T) {
+	d := New()
+	for i := 0; i < 200; i++ {
+		d.Add(NewFact(relR, query.Const(strings.Repeat("k", 1+i%7)), query.Const(string(rune('a'+i%26)))))
+	}
+	done := make(chan int, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			n := len(d.Blocks()) + len(d.ActiveDomain()) + len(d.FactsOf("R"))
+			if _, ok := d.BlockByKey("R", []query.Const{"k"}); !ok {
+				n = -1
+			}
+			done <- n
+		}()
+	}
+	first := <-done
+	for w := 1; w < 8; w++ {
+		if got := <-done; got != first {
+			t.Fatalf("concurrent readers disagree: %d vs %d", got, first)
+		}
+	}
+	if first < 0 {
+		t.Fatal("BlockByKey missed an existing block")
+	}
+}
+
 func TestDBString(t *testing.T) {
 	d := FromFacts(NewFact(relR, "a", "b"))
 	if d.String() != "R(a | b)" {

@@ -11,24 +11,23 @@ import (
 )
 
 // Index wraps a database with the lookup structures the join needs:
-// facts by relation and blocks by (relation, key value).
+// facts by relation and blocks by (relation, key value). Since the
+// database memoizes those structures itself, an Index is now a zero-cost
+// view — NewIndex does no per-relation copying — and one database shared
+// by many goroutines needs no per-caller index construction.
 type Index struct {
-	DB    *db.DB
-	byRel map[string][]db.Fact
+	DB *db.DB
 }
 
-// NewIndex builds an index over the database.
+// NewIndex builds an index over the database. It is O(1): the lookup
+// structures live in the database and are built once on first use.
 func NewIndex(d *db.DB) *Index {
-	ix := &Index{DB: d, byRel: make(map[string][]db.Fact)}
-	for _, name := range d.Relations() {
-		ix.byRel[name] = d.FactsOf(name)
-	}
-	return ix
+	return &Index{DB: d}
 }
 
 // candidates returns the facts that could match the atom under the current
-// valuation: the block when the key is fully bound, otherwise all facts of
-// the relation.
+// valuation: the block (one hash probe) when the key is fully bound,
+// otherwise all facts of the relation.
 func (ix *Index) candidates(a query.Atom, val query.Valuation) []db.Fact {
 	keyBound := true
 	keyArgs := make([]query.Const, a.Rel.KeyLen)
@@ -41,10 +40,10 @@ func (ix *Index) candidates(a query.Atom, val query.Valuation) []db.Fact {
 		keyArgs[i] = c
 	}
 	if keyBound {
-		probe := db.Fact{Rel: a.Rel, Args: append(keyArgs, make([]query.Const, a.Rel.Arity-a.Rel.KeyLen)...)}
-		return ix.DB.BlockOf(probe).Facts
+		b, _ := ix.DB.BlockByKey(a.Rel.Name, keyArgs)
+		return b.Facts
 	}
-	return ix.byRel[a.Rel.Name]
+	return ix.DB.FactsOf(a.Rel.Name)
 }
 
 // unify attempts to extend val so that the atom maps onto the fact.

@@ -69,6 +69,18 @@ func CertainTraced(q query.Query, d *db.DB, trace bool) (bool, *Stats, []string,
 	return ok, st, ctx.trace, err
 }
 
+// CertainNoStrongCycle runs the Theorem 4 algorithm for a query already
+// known to have no strong attack cycle (for example from a compiled
+// plan), skipping the attack-graph construction and strong-cycle check
+// that Certain performs on every call. The result is meaningless on
+// strong-cycle queries.
+func CertainNoStrongCycle(q query.Query, d *db.DB) (bool, *Stats, error) {
+	st := &Stats{}
+	ctx := &solver{stats: st}
+	ok, err := ctx.solve(q, d, 0)
+	return ok, st, err
+}
+
 type solver struct {
 	stats   *Stats
 	tracing bool
@@ -246,7 +258,7 @@ func (s *solver) branch(q query.Query, d *db.DB, depth int) (bool, error) {
 // valuation and leaves a certain residue.
 func (s *solver) lemma9(q query.Query, f query.Atom, d *db.DB, depth int) (bool, error) {
 	rest := q.Remove(f)
-	for _, b := range d.BlocksOf(f.Rel.Name) {
+	for _, b := range candidateBlocks(d, f) {
 		if len(b.Facts) == 0 {
 			continue
 		}
@@ -276,6 +288,25 @@ func (s *solver) lemma9(q query.Query, f query.Atom, d *db.DB, depth int) (bool,
 		}
 	}
 	return false, nil
+}
+
+// candidateBlocks returns the blocks the Lemma 9 branch must try for
+// atom f: when f's key is fully ground (the common case on instantiated
+// residue queries) the single block is hash-probed in O(1); otherwise
+// every block of the relation (a cached slice) is scanned.
+func candidateBlocks(d *db.DB, f query.Atom) []db.Block {
+	keyConsts := make([]query.Const, f.Rel.KeyLen)
+	for i, t := range f.KeyArgs() {
+		if !t.IsConst() {
+			return d.BlocksOf(f.Rel.Name)
+		}
+		keyConsts[i] = t.Const()
+	}
+	b, ok := d.BlockByKey(f.Rel.Name, keyConsts)
+	if !ok {
+		return nil
+	}
+	return []db.Block{b}
 }
 
 // dissolveCase handles the saturated, all-mode-i-attacked regime: find a

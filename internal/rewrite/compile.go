@@ -1,0 +1,252 @@
+package rewrite
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cqa/internal/attack"
+	"cqa/internal/db"
+	"cqa/internal/match"
+	"cqa/internal/query"
+)
+
+// Eliminator is the compiled form of the Lemma 10 recursion for a query
+// whose attack graph is acyclic: the atom-elimination order, fixed once
+// per query pattern. The order is valid for every instantiation of the
+// query because instantiating variables with constants never adds
+// attacks (Lemma 6) — an atom unattacked at its step of the pattern
+// recursion stays unattacked in every residue the data produces. With
+// the order fixed, evaluation is pure data work: walk the atoms with a
+// valuation, probe blocks by ground key where the key is instantiated,
+// and never build an attack graph or allocate a substituted residue
+// query.
+//
+// An Eliminator is immutable after Compile and safe for concurrent use;
+// each evaluation carries its own valuation and memo table.
+type Eliminator struct {
+	query query.Query
+	// order is the elimination order: order[0] is eliminated first.
+	order []query.Atom
+	// relevant[level] holds the variables occurring in order[level:],
+	// sorted — the only bindings that can influence the sub-recursion at
+	// that level, and therefore the memoization key.
+	relevant [][]query.Var
+}
+
+// CompileEliminator builds the eliminator for q, or an error when the
+// attack graph of q is cyclic (CERTAINTY(q) is not in FO there).
+func CompileEliminator(q query.Query) (*Eliminator, error) {
+	g, err := attack.BuildGraph(q)
+	if err != nil {
+		return nil, err
+	}
+	if g.HasCycle() {
+		return nil, fmt.Errorf("rewrite: attack graph of %s is cyclic; CERTAINTY is not in FO", q)
+	}
+	return CompileAcyclic(q)
+}
+
+// CompileAcyclic builds the eliminator for a query already known to be
+// acyclic (for example from a cached classification), skipping the
+// cycle check. It mirrors the recursion of Rewriting: at each step the
+// variables bound by earlier atoms are treated as constants — exactly
+// the shape of the residue queries the data-side recursion produces —
+// and the first unattacked atom is chosen.
+func CompileAcyclic(q query.Query) (*Eliminator, error) {
+	e := &Eliminator{query: q, order: make([]query.Atom, 0, q.Len())}
+	bound := make(query.VarSet)
+	residual := q
+	for !residual.Empty() {
+		inst := query.Valuation{}
+		for v := range bound {
+			inst[v] = query.Const("\x01" + string(v))
+		}
+		g, err := attack.BuildGraph(residual.Substitute(inst))
+		if err != nil {
+			return nil, err
+		}
+		unattacked := g.Unattacked()
+		if len(unattacked) == 0 {
+			return nil, fmt.Errorf("rewrite: no unattacked atom in residue %s of %s", residual, q)
+		}
+		f := residual.Atoms[unattacked[0]]
+		e.order = append(e.order, f)
+		for _, t := range f.Args {
+			if t.IsVar() {
+				bound.Add(t.Var())
+			}
+		}
+		residual = residual.Remove(f)
+	}
+	e.relevant = make([][]query.Var, len(e.order))
+	for level := len(e.order) - 1; level >= 0; level-- {
+		seen := make(query.VarSet)
+		for _, a := range e.order[level:] {
+			for _, t := range a.Args {
+				if t.IsVar() {
+					seen.Add(t.Var())
+				}
+			}
+		}
+		e.relevant[level] = seen.Sorted()
+	}
+	return e, nil
+}
+
+// Order returns the compiled elimination order (shared; do not modify).
+func (e *Eliminator) Order() []query.Atom { return e.order }
+
+// Certain decides CERTAINTY of the compiled query over the indexed
+// database.
+func (e *Eliminator) Certain(ix *match.Index) bool {
+	return e.CertainWith(ix, nil)
+}
+
+// CertainWith decides certainty of the compiled query instantiated by
+// the initial valuation (typically a candidate binding of free
+// variables). Instantiation never adds attacks (Lemma 6), so the
+// compiled order remains valid; initial is not modified.
+func (e *Eliminator) CertainWith(ix *match.Index, initial query.Valuation) bool {
+	ev := &elimEval{e: e, ix: ix, memo: make(map[string]bool)}
+	val := make(query.Valuation, len(initial))
+	for v, c := range initial {
+		val[v] = c
+	}
+	return ev.run(0, val)
+}
+
+// elimEval is one evaluation of an Eliminator: a shared valuation
+// extended and undone in place down the elimination order, and a memo
+// table keyed by (level, relevant bindings).
+type elimEval struct {
+	e    *Eliminator
+	ix   *match.Index
+	memo map[string]bool
+}
+
+func (ev *elimEval) run(level int, val query.Valuation) bool {
+	if level == len(ev.e.order) {
+		return true
+	}
+	key := ev.memoKey(level, val)
+	if v, ok := ev.memo[key]; ok {
+		return v
+	}
+	res := ev.eval(level, val)
+	ev.memo[key] = res
+	return res
+}
+
+// memoKey identifies the residue at the given level: the level itself
+// (fixing the remaining atom pattern) plus the bindings of the variables
+// occurring in the remaining atoms. Bindings of already-eliminated
+// variables cannot influence the result and are excluded, which is what
+// lets distinct branches share memo entries.
+func (ev *elimEval) memoKey(level int, val query.Valuation) string {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(level))
+	for _, v := range ev.e.relevant[level] {
+		if c, ok := val[v]; ok {
+			b.WriteByte('\x00')
+			b.WriteString(string(v))
+			b.WriteByte('\x01')
+			b.WriteString(string(c))
+		}
+	}
+	return b.String()
+}
+
+func (ev *elimEval) eval(level int, val query.Valuation) bool {
+	f := ev.e.order[level]
+	// Ground-key fast path: when every key position of F is instantiated
+	// there is at most one candidate block — one hash probe instead of a
+	// scan over every block of the relation.
+	keyGround := true
+	keyConsts := make([]query.Const, f.Rel.KeyLen)
+	for i, t := range f.KeyArgs() {
+		c, ok := val.Apply(t)
+		if !ok {
+			keyGround = false
+			break
+		}
+		keyConsts[i] = c
+	}
+	if keyGround {
+		b, ok := ev.ix.DB.BlockByKey(f.Rel.Name, keyConsts)
+		if !ok {
+			return false
+		}
+		return ev.blockCertain(level, f, b, val)
+	}
+	for _, b := range ev.ix.DB.BlocksOf(f.Rel.Name) {
+		if len(b.Facts) == 0 {
+			continue
+		}
+		if ev.blockCertain(level, f, b, val) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockCertain implements the Lemma 9 test for one block: the key
+// pattern of F must match the block's key and every fact of the block
+// must match the non-key pattern and leave a certain residue. The
+// valuation is extended in place and restored before returning.
+func (ev *elimEval) blockCertain(level int, f query.Atom, b db.Block, val query.Valuation) bool {
+	keyAdded, ok := unifyUndo(f.KeyArgs(), b.Facts[0].Key(), val)
+	if !ok {
+		return false
+	}
+	good := true
+	for _, fact := range b.Facts {
+		nonKeyAdded, ok := unifyUndo(f.NonKeyArgs(), fact.NonKey(), val)
+		if !ok {
+			good = false
+			break
+		}
+		res := ev.run(level+1, val)
+		undoBindings(val, nonKeyAdded)
+		if !res {
+			good = false
+			break
+		}
+	}
+	undoBindings(val, keyAdded)
+	return good
+}
+
+// unifyUndo extends val so the terms map onto the constants, returning
+// the variables newly bound (for undo). On failure the bindings it made
+// are already removed and val is unchanged.
+func unifyUndo(terms []query.Term, consts []query.Const, val query.Valuation) ([]query.Var, bool) {
+	var added []query.Var
+	for i, t := range terms {
+		c := consts[i]
+		if t.IsConst() {
+			if t.Const() != c {
+				undoBindings(val, added)
+				return nil, false
+			}
+			continue
+		}
+		v := t.Var()
+		if bound, ok := val[v]; ok {
+			if bound != c {
+				undoBindings(val, added)
+				return nil, false
+			}
+			continue
+		}
+		val[v] = c
+		added = append(added, v)
+	}
+	return added, true
+}
+
+func undoBindings(val query.Valuation, vars []query.Var) {
+	for _, v := range vars {
+		delete(val, v)
+	}
+}

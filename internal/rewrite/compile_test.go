@@ -1,0 +1,135 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/match"
+	"cqa/internal/naive"
+	"cqa/internal/query"
+	"cqa/internal/workload"
+)
+
+func TestCompileAcyclicOrder(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	el, err := CompileAcyclic(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := el.Order()
+	if len(order) != 2 || order[0].Rel.Name != "R" || order[1].Rel.Name != "S" {
+		t.Errorf("order = %v; want R before S (R attacks S)", order)
+	}
+}
+
+func TestCompileEliminatorRejectsCyclic(t *testing.T) {
+	if _, err := CompileEliminator(workload.Q0()); err == nil {
+		t.Fatal("expected error for cyclic attack graph")
+	}
+}
+
+func TestEliminatorEmptyQuery(t *testing.T) {
+	el, err := CompileAcyclic(query.MustParse(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !el.Certain(match.NewIndex(factsDB(t, "R(a | b)"))) {
+		t.Error("empty query must be certain on every instance")
+	}
+}
+
+// TestEliminatorDifferentialVsNaive: the compiled elimination order
+// agrees with the brute-force oracle and with the per-residue recursion
+// it replaces, on random acyclic instances (fixed seed).
+func TestEliminatorDifferentialVsNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(977))
+	for trial := 0; trial < 300; trial++ {
+		q := acyclicRandomQuery(rng, t)
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		if d.NumRepairs() > 1<<14 {
+			continue
+		}
+		el, err := CompileAcyclic(q)
+		if err != nil {
+			t.Fatalf("compile %s: %v", q, err)
+		}
+		got := el.Certain(match.NewIndex(d))
+		want, err := naive.Certain(q, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("eliminator=%v naive=%v\nq = %s\norder = %v\ndb:\n%s",
+				got, want, q, el.Order(), d)
+		}
+		if old := CertainAcyclic(q, d); old != want {
+			t.Fatalf("CertainAcyclic=%v naive=%v\nq = %s\ndb:\n%s", old, want, q, d)
+		}
+	}
+}
+
+// TestCertainWithMatchesSubstitute: seeding the eliminator with a
+// binding decides exactly the instantiated query (Lemma 6 keeps the
+// compiled order valid under instantiation).
+func TestCertainWithMatchesSubstitute(t *testing.T) {
+	rng := rand.New(rand.NewSource(431))
+	for trial := 0; trial < 150; trial++ {
+		q := acyclicRandomQuery(rng, t)
+		vars := q.Vars().Sorted()
+		if len(vars) == 0 {
+			continue
+		}
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		if d.NumRepairs() > 1<<12 {
+			continue
+		}
+		adom := d.ActiveDomain()
+		if len(adom) == 0 {
+			continue
+		}
+		v := vars[rng.Intn(len(vars))]
+		binding := query.Valuation{v: adom[rng.Intn(len(adom))]}
+		el, err := CompileAcyclic(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := el.CertainWith(match.NewIndex(d), binding)
+		want, err := naive.Certain(q.Substitute(binding), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("CertainWith=%v naive(substituted)=%v\nq = %s\nbinding = %v\ndb:\n%s",
+				got, want, q, binding, d)
+		}
+		if len(binding) != 1 {
+			t.Fatal("CertainWith modified the caller's valuation")
+		}
+	}
+}
+
+// TestEliminatorSharedAcrossGoroutines: one compiled eliminator is used
+// concurrently over a shared index; run with -race.
+func TestEliminatorSharedAcrossGoroutines(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	el, err := CompileAcyclic(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := factsDB(t, `
+		R(a | b)
+		R(a | c)
+		S(b | z)
+		S(c | z)
+	`)
+	ix := match.NewIndex(d)
+	done := make(chan bool, 8)
+	for w := 0; w < 8; w++ {
+		go func() { done <- el.Certain(ix) }()
+	}
+	for w := 0; w < 8; w++ {
+		if !<-done {
+			t.Fatal("shared eliminator returned false on a certain instance")
+		}
+	}
+}

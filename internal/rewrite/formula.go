@@ -199,8 +199,16 @@ func Rewriting(q query.Query) (Formula, error) {
 	if g.HasCycle() {
 		return nil, fmt.Errorf("rewrite: attack graph of %s is cyclic; no first-order rewriting exists", q)
 	}
+	return RewritingAcyclic(q), nil
+}
+
+// RewritingAcyclic constructs the rewriting for a query already known to
+// have an acyclic attack graph (for example from a cached
+// classification), skipping the graph construction and cycle check that
+// Rewriting performs. The result is meaningless on cyclic queries.
+func RewritingAcyclic(q query.Query) Formula {
 	used := q.Vars()
-	return rewriteRec(q, make(query.VarSet), used, 0), nil
+	return rewriteRec(q, make(query.VarSet), used, 0)
 }
 
 // freshVar returns a variable based on base that is not in used, priming

@@ -8,8 +8,6 @@
 package rewrite
 
 import (
-	"fmt"
-
 	"cqa/internal/attack"
 	"cqa/internal/db"
 	"cqa/internal/match"
@@ -20,26 +18,34 @@ import (
 // It returns an error when the attack graph has a cycle (use the ptime or
 // conp engines there).
 func Certain(q query.Query, d *db.DB) (bool, error) {
-	g, err := attack.BuildGraph(q)
+	el, err := CompileEliminator(q)
 	if err != nil {
 		return false, err
 	}
-	if g.HasCycle() {
-		return false, fmt.Errorf("rewrite: attack graph of %s is cyclic; CERTAINTY is not in FO", q)
-	}
-	return CertainAcyclic(q, d), nil
+	return el.Certain(match.NewIndex(d)), nil
 }
 
 // CertainAcyclic runs the Lemma 10 recursion for a query whose attack
 // graph is already known to be acyclic (for example from a cached
-// classification), skipping the graph construction and cycle check that
-// Certain performs. The result is meaningless on cyclic queries.
+// classification), skipping the cycle check that Certain performs. The
+// elimination order is compiled once from the query pattern and then
+// walked with valuations — no attack graph is built and no residue query
+// is allocated on the data side. Callers that evaluate the same query
+// against many databases should CompileAcyclic once and reuse the
+// Eliminator. The result is meaningless on cyclic queries.
 func CertainAcyclic(q query.Query, d *db.DB) bool {
-	e := &evaluator{
-		ix:   match.NewIndex(d),
-		memo: make(map[string]bool),
+	el, err := CompileAcyclic(q)
+	if err != nil {
+		// Defensive: on input that is not actually acyclic the compiled
+		// order may not exist; fall back to the per-node recursion, which
+		// reproduces the seed behavior on such misuse.
+		e := &evaluator{
+			ix:   match.NewIndex(d),
+			memo: make(map[string]bool),
+		}
+		return e.certain(q)
 	}
-	return e.certain(q)
+	return el.Certain(match.NewIndex(d))
 }
 
 type evaluator struct {

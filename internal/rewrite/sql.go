@@ -27,12 +27,19 @@ func SQL(q query.Query) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return SQLFromFormula(f), nil
+}
+
+// SQLFromFormula renders an already-constructed rewriting as SQL,
+// skipping the classification that SQL performs — the plan-aware entry
+// point for callers holding a compiled plan's Formula.
+func SQLFromFormula(f Formula) string {
 	f = Simplify(f)
 	var b strings.Builder
 	b.WriteString("SELECT 1 WHERE ")
 	c := &sqlCtx{aliases: map[query.Var]binding{}}
 	c.emit(&b, f, false)
-	return b.String(), nil
+	return b.String()
 }
 
 // binding locates a variable: table alias + 1-based column.

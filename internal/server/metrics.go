@@ -110,6 +110,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "cqa_plancache_misses_total %d\n", st.Misses)
 	fmt.Fprintf(&b, "cqa_plancache_evictions_total %d\n", st.Evictions)
 	fmt.Fprintf(&b, "cqa_plancache_entries %d\n", st.Entries)
+	ixst := s.store.IndexStats()
+	fmt.Fprintf(&b, "cqa_indexcache_hits_total %d\n", ixst.Hits())
+	fmt.Fprintf(&b, "cqa_indexcache_misses_total %d\n", ixst.Misses())
 	fmt.Fprintf(&b, "cqa_store_databases %d\n", s.store.Len())
 
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

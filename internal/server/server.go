@@ -30,6 +30,7 @@ import (
 	"cqa/internal/catalog"
 	"cqa/internal/core"
 	"cqa/internal/db"
+	"cqa/internal/match"
 	"cqa/internal/plancache"
 	"cqa/internal/query"
 	"cqa/internal/rewrite"
@@ -227,10 +228,12 @@ func (s *Server) compile(w http.ResponseWriter, text string) (*core.Plan, bool, 
 	return plan, hit, true
 }
 
-// resolveDB produces the database a certain/answers request evaluates
-// against: a stored snapshot (by name) or inline facts typed by the
-// plan's query schema. Exactly one of "db" and "facts" must be set.
-func (s *Server) resolveDB(w http.ResponseWriter, req certainRequest, plan *core.Plan) (*db.DB, *dbRef, bool) {
+// resolveDB produces the evaluation index a certain/answers request
+// runs against: for a stored snapshot (by name) the index cached on the
+// snapshot — built once per snapshot version and reused across requests
+// — and for inline facts a fresh index over the parsed database.
+// Exactly one of "db" and "facts" must be set.
+func (s *Server) resolveDB(w http.ResponseWriter, req certainRequest, plan *core.Plan) (*match.Index, *dbRef, bool) {
 	switch {
 	case req.DB != "" && req.Facts != "":
 		httpError(w, http.StatusBadRequest, "set either \"db\" or \"facts\", not both")
@@ -245,7 +248,7 @@ func (s *Server) resolveDB(w http.ResponseWriter, req certainRequest, plan *core
 			httpError(w, http.StatusBadRequest, "database %q: %v", req.DB, err)
 			return nil, nil, false
 		}
-		return snap.DB, &dbRef{Name: snap.Name, Version: snap.Version}, true
+		return snap.Index(), &dbRef{Name: snap.Name, Version: snap.Version}, true
 	case req.Facts != "":
 		d, err := db.ParseFacts(plan.Query.Schema(), req.Facts)
 		if err != nil {
@@ -256,7 +259,7 @@ func (s *Server) resolveDB(w http.ResponseWriter, req certainRequest, plan *core
 			httpError(w, http.StatusBadRequest, "a mode-c relation of the input violates its primary key")
 			return nil, nil, false
 		}
-		return d, nil, true
+		return match.NewIndex(d), nil, true
 	default:
 		httpError(w, http.StatusBadRequest, "missing \"db\" (stored database name) or \"facts\" (inline facts)")
 		return nil, nil, false
@@ -330,11 +333,11 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	d, ref, ok := s.resolveDB(w, req, plan)
+	ix, ref, ok := s.resolveDB(w, req, plan)
 	if !ok {
 		return
 	}
-	res, err := plan.Certain(d, opts)
+	res, err := plan.CertainIndexed(ix, opts)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -367,7 +370,7 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	d, ref, ok := s.resolveDB(w, req, plan)
+	ix, ref, ok := s.resolveDB(w, req, plan)
 	if !ok {
 		return
 	}
@@ -375,7 +378,7 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	for i, name := range req.Free {
 		free[i] = query.Var(name)
 	}
-	vals, err := plan.CertainAnswers(free, d, opts)
+	vals, err := plan.CertainAnswersIndexed(free, ix, opts)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -423,12 +426,9 @@ func (s *Server) handleRewrite(w http.ResponseWriter, r *http.Request) {
 	case "logic":
 		text = rewrite.Format(plan.Formula)
 	case "sql":
-		sql, err := rewrite.SQL(plan.Query)
-		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, "%v", err)
-			return
-		}
-		text = sql
+		// The plan already carries the rewriting; render it directly
+		// instead of re-classifying via rewrite.SQL.
+		text = rewrite.SQLFromFormula(plan.Formula)
 	default:
 		httpError(w, http.StatusBadRequest, "unknown dialect %q (want \"logic\" or \"sql\")", req.Dialect)
 		return

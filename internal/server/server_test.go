@@ -157,6 +157,54 @@ func TestCertainStoredDB(t *testing.T) {
 	}
 }
 
+// TestIndexCacheCounters: N requests against one named-snapshot version
+// build the index exactly once — the /metrics counters show one miss and
+// N-1 hits, i.e. zero per-request index builds after the first touch.
+func TestIndexCacheCounters(t *testing.T) {
+	h := newTestServer().Handler()
+	if rec := do(t, h, "PUT", "/v1/db/prod", "R(a | b)\nR(a | dead)\nS(b | c)\n", nil); rec.Code != 200 {
+		t.Fatalf("upload: %d", rec.Code)
+	}
+	const requests = 6
+	for i := 0; i < requests; i++ {
+		body := `{"query": "R(x | y), S(y | z)", "db": "prod"}`
+		if i%2 == 1 {
+			body = `{"query": "R(x | y), S(y | z)", "free": ["x"], "db": "prod"}`
+			if rec := do(t, h, "POST", "/v1/answers", body, nil); rec.Code != 200 {
+				t.Fatalf("answers %d: %d", i, rec.Code)
+			}
+			continue
+		}
+		if rec := do(t, h, "POST", "/v1/certain", body, nil); rec.Code != 200 {
+			t.Fatalf("certain %d: %d", i, rec.Code)
+		}
+	}
+	metric := func() (hits, misses int) {
+		rec := do(t, h, "GET", "/metrics", "", nil)
+		for _, line := range strings.Split(rec.Body.String(), "\n") {
+			if strings.HasPrefix(line, "cqa_indexcache_hits_total ") {
+				fmt.Sscanf(line, "cqa_indexcache_hits_total %d", &hits)
+			}
+			if strings.HasPrefix(line, "cqa_indexcache_misses_total ") {
+				fmt.Sscanf(line, "cqa_indexcache_misses_total %d", &misses)
+			}
+		}
+		return hits, misses
+	}
+	hits, misses := metric()
+	if misses != 1 || hits != requests-1 {
+		t.Fatalf("hits=%d misses=%d; want %d, 1 (one build per snapshot version)", hits, misses, requests-1)
+	}
+	// A new version of the snapshot costs exactly one more build.
+	do(t, h, "PUT", "/v1/db/prod", "R(a | b)\nS(b | c)\n", nil)
+	if rec := do(t, h, "POST", "/v1/certain", `{"query": "R(x | y), S(y | z)", "db": "prod"}`, nil); rec.Code != 200 {
+		t.Fatalf("after swap: %d", rec.Code)
+	}
+	if hits, misses = metric(); misses != 2 || hits != requests-1 {
+		t.Errorf("after swap: hits=%d misses=%d; want %d, 2", hits, misses, requests-1)
+	}
+}
+
 func TestAnswersEndpoint(t *testing.T) {
 	h := newTestServer().Handler()
 	body := `{"query": "Product(pid | sid), Supplier(sid | 'DE')", "free": ["pid"],

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cqa/internal/db"
+	"cqa/internal/match"
 )
 
 // Snapshot is one immutable version of a named database.
@@ -24,19 +26,68 @@ type Snapshot struct {
 	Blocks    int
 	Relations []string
 	LoadedAt  time.Time
+
+	indexOnce sync.Once
+	index     *match.Index
+	stats     *IndexStats // shared with the owning store; nil for bare snapshots
 }
+
+// Index returns the evaluation index of the snapshot — the match.Index
+// plus the underlying block/key/active-domain structures — built on
+// first use and shared by every subsequent request against this
+// snapshot version. Replacing the snapshot (Put) publishes a fresh
+// Snapshot and therefore a fresh index, so invalidation rides the
+// existing atomic swap. Safe for concurrent use.
+func (s *Snapshot) Index() *match.Index {
+	built := false
+	s.indexOnce.Do(func() {
+		s.index = match.NewIndex(s.DB)
+		// Warm the memoized structures now so the build cost is paid
+		// exactly once, here, rather than by whichever request happens
+		// to touch a cold structure first.
+		s.DB.Blocks()
+		s.DB.ActiveDomain()
+		built = true
+	})
+	if s.stats != nil {
+		if built {
+			s.stats.misses.Add(1)
+		} else {
+			s.stats.hits.Add(1)
+		}
+	}
+	return s.index
+}
+
+// IndexStats counts snapshot-index cache outcomes across a store: a
+// miss is a request that had to build the index (first touch of a
+// snapshot version), a hit is a request that reused it.
+type IndexStats struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// Hits returns the number of index-cache hits.
+func (s *IndexStats) Hits() uint64 { return s.hits.Load() }
+
+// Misses returns the number of index-cache misses (index builds).
+func (s *IndexStats) Misses() uint64 { return s.misses.Load() }
 
 // Store is a registry of named database snapshots. The zero value is
 // not ready; use New. All methods are safe for concurrent use.
 type Store struct {
-	mu  sync.RWMutex
-	dbs map[string]*Snapshot
+	mu    sync.RWMutex
+	dbs   map[string]*Snapshot
+	stats IndexStats
 }
 
 // New returns an empty store.
 func New() *Store {
 	return &Store{dbs: make(map[string]*Snapshot)}
 }
+
+// IndexStats exposes the snapshot-index cache counters.
+func (s *Store) IndexStats() *IndexStats { return &s.stats }
 
 // Put publishes d as the new snapshot of the named database and returns
 // it. The caller must not modify d afterwards; the store and all
@@ -49,6 +100,7 @@ func (s *Store) Put(name string, d *db.DB) *Snapshot {
 		Blocks:    d.NumBlocks(),
 		Relations: d.Relations(),
 		LoadedAt:  time.Now(),
+		stats:     &s.stats,
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -64,6 +64,77 @@ func TestPutFactsRejectsBadInput(t *testing.T) {
 	}
 }
 
+// TestSnapshotIndexCached: the snapshot index is built once per version,
+// shared across requests, and replaced along with the snapshot on Put;
+// the store's counters record exactly one miss per build.
+func TestSnapshotIndexCached(t *testing.T) {
+	s := New()
+	snap, err := s.PutFacts("db", "R(a | b)\nR(a | c)\nS(b | z)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix1 := snap.Index()
+	ix2 := snap.Index()
+	if ix1 == nil || ix1 != ix2 {
+		t.Fatalf("index not cached: %p vs %p", ix1, ix2)
+	}
+	if ix1.DB != snap.DB {
+		t.Error("index built over the wrong database")
+	}
+	if h, m := s.IndexStats().Hits(), s.IndexStats().Misses(); h != 1 || m != 1 {
+		t.Errorf("hits=%d misses=%d; want 1, 1", h, m)
+	}
+	snap2, err := s.PutFacts("db", "R(a | b)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix3 := snap2.Index(); ix3 == ix1 {
+		t.Error("replacement snapshot reused the superseded index")
+	}
+	if h, m := s.IndexStats().Hits(), s.IndexStats().Misses(); h != 1 || m != 2 {
+		t.Errorf("after swap: hits=%d misses=%d; want 1, 2", h, m)
+	}
+	// The superseded snapshot keeps serving its own index.
+	if snap.Index() != ix1 {
+		t.Error("old snapshot lost its index after the swap")
+	}
+}
+
+// TestSnapshotIndexConcurrent: many goroutines race to build the index
+// of a cold snapshot; exactly one build happens and everyone shares it.
+// Run with -race.
+func TestSnapshotIndexConcurrent(t *testing.T) {
+	s := New()
+	snap, err := s.PutFacts("db", "R(a | b)\nR(a | c)\nS(b | z)\nS(c | z)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const readers = 16
+	indexes := make(chan interface{}, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			indexes <- snap.Index()
+		}()
+	}
+	wg.Wait()
+	close(indexes)
+	first := <-indexes
+	for ix := range indexes {
+		if ix != first {
+			t.Fatal("concurrent readers got different indexes")
+		}
+	}
+	if m := s.IndexStats().Misses(); m != 1 {
+		t.Errorf("misses = %d; want exactly 1 build", m)
+	}
+	if h := s.IndexStats().Hits(); h != readers-1 {
+		t.Errorf("hits = %d; want %d", h, readers-1)
+	}
+}
+
 // TestConcurrentSwapAndRead uploads new versions while readers resolve
 // and evaluate against whatever snapshot is current; run with -race.
 func TestConcurrentSwapAndRead(t *testing.T) {
