@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check bench bench-smoke fuzz vet fmt experiments clean
+.PHONY: all build test test-short race check chaos bench bench-smoke fuzz vet fmt experiments clean
 
 all: build test
 
@@ -18,12 +18,24 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# Tier-1 gate: build + full tests, vet, race-enabled tests for the
-# concurrent packages (server, plan cache, db store, core worker pool,
-# db index), and a one-iteration smoke run of the evaluation benchmarks.
+# Tier-1 gate: build + full tests, vet (plus staticcheck when it is on
+# PATH — it is not vendored, so its absence only prints a notice),
+# race-enabled tests for the concurrent packages (server, plan cache,
+# db store, core worker pool, db index), and a one-iteration smoke run
+# of the evaluation benchmarks.
 check: build test bench-smoke
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
 	$(GO) test -race ./internal/server ./internal/plancache ./internal/store ./internal/core ./internal/db ./internal/rewrite
+
+# Chaos gate: the fault-injection, cancellation, deadline, budget,
+# shedding, and goroutine-leak suites under the race detector. This is
+# the robustness counterpart of `check` — everything here exercises the
+# degraded paths (injected panics, tripped budgets, saturated admission)
+# rather than the happy path.
+chaos:
+	$(GO) test -race ./internal/faultinject ./internal/evalctx
+	$(GO) test -race -run 'Cancel|Deadline|Budget|Leak|FaultInjection|Shedding|Draining|Liveness|Readiness|Degrad' ./internal/core ./internal/server
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -4,6 +4,8 @@
 package cli
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +19,7 @@ import (
 	"cqa/internal/core"
 	"cqa/internal/counting"
 	"cqa/internal/db"
+	"cqa/internal/evalctx"
 	"cqa/internal/experiments"
 	"cqa/internal/markov"
 	"cqa/internal/ptime"
@@ -121,6 +124,9 @@ func RunCertain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	count := fs.Bool("count", false, "also report the exact number of satisfying repairs")
 	fraction := fs.Int("fraction", 0, "estimate the satisfying-repair fraction with N samples")
 	showTrace := fs.Bool("trace", false, "print the Theorem 4 pipeline trace (ptime engine)")
+	timeout := fs.Duration("timeout", 0, "wall-clock evaluation deadline (0 = none)")
+	maxSteps := fs.Int64("max-steps", 0, "engine step budget (0 = unlimited)")
+	approx := fs.Bool("approx", false, "degrade a budget-exhausted coNP evaluation to repair sampling")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -157,7 +163,13 @@ func RunCertain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "cqa-certain:", err)
 		return 2
 	}
-	opts := core.Options{Engine: engine}
+	opts := core.Options{Engine: engine, MaxSteps: *maxSteps, Approximate: *approx}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *answers != "" {
 		var free []query.Var
@@ -167,7 +179,7 @@ func RunCertain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				free = append(free, query.Var(name))
 			}
 		}
-		vals, err := core.CertainAnswers(q, free, d, opts)
+		vals, err := core.CertainAnswersCtx(ctx, q, free, d, opts)
 		if err != nil {
 			fmt.Fprintln(stderr, "cqa-certain:", err)
 			return 2
@@ -196,14 +208,24 @@ func RunCertain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	res, err := core.Certain(q, d, opts)
+	res, err := core.CertainCtx(ctx, q, d, opts)
 	if err != nil {
-		fmt.Fprintln(stderr, "cqa-certain:", err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintf(stderr, "cqa-certain: evaluation deadline of %s exceeded\n", *timeout)
+		case errors.Is(err, evalctx.ErrBudgetExceeded):
+			fmt.Fprintf(stderr, "cqa-certain: step budget of %d exhausted (use -approx to degrade to sampling)\n", *maxSteps)
+		default:
+			fmt.Fprintln(stderr, "cqa-certain:", err)
+		}
 		return 2
 	}
 	fmt.Fprintf(stdout, "class:   %s\n", res.Class)
 	fmt.Fprintf(stdout, "engine:  %s\n", res.Engine)
 	fmt.Fprintf(stdout, "certain: %v\n", res.Certain)
+	if res.Approximate {
+		fmt.Fprintf(stdout, "approximate: true (sampled satisfying fraction %.4f)\n", res.Fraction)
+	}
 	if *possible {
 		fmt.Fprintf(stdout, "possible: %v\n", core.Possible(q, d))
 	}

@@ -14,6 +14,7 @@ import (
 	"os/signal"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -33,6 +34,10 @@ func RunServe(args []string, stdout, stderr io.Writer) int {
 	cacheSize := fs.Int("cache", 1024, "plan-cache capacity (compiled plans)")
 	workers := fs.Int("workers", 0, "max concurrently evaluating requests (0 = 2×GOMAXPROCS)")
 	quiet := fs.Bool("quiet", false, "suppress per-request logging")
+	timeout := fs.Duration("timeout", 0, "default per-request evaluation deadline (0 = server default, <0 = none)")
+	maxTimeout := fs.Duration("max-timeout", 0, "cap on client-requested timeout_ms overrides (0 = server default)")
+	maxSteps := fs.Int64("max-steps", 0, "default per-request engine step budget (0 = server default, <0 = unlimited)")
+	memoCap := fs.Int("memo-cap", 0, "per-request memoization entry cap (0 = server default, <0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -43,7 +48,15 @@ func RunServe(args []string, stdout, stderr io.Writer) int {
 	if *workers <= 0 {
 		*workers = 2 * runtime.GOMAXPROCS(0)
 	}
-	srv := server.New(server.Config{CacheSize: *cacheSize, MaxWorkers: *workers, Logger: logger})
+	srv := server.New(server.Config{
+		CacheSize:   *cacheSize,
+		MaxWorkers:  *workers,
+		Logger:      logger,
+		EvalTimeout: *timeout,
+		MaxTimeout:  *maxTimeout,
+		MaxSteps:    *maxSteps,
+		MemoCap:     *memoCap,
+	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -62,6 +75,9 @@ func RunServe(args []string, stdout, stderr io.Writer) int {
 	case <-ctx.Done():
 		stop()
 		fmt.Fprintln(stdout, "cqa-serve: shutting down...")
+		// Flip readiness first so load balancers stop routing new work
+		// here while the in-flight requests drain.
+		srv.SetDraining(true)
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil {
@@ -81,11 +97,13 @@ type loadJob struct {
 	body     []byte
 }
 
-// loadResult is one completed request.
+// loadResult is one completed request (including any retries).
 type loadResult struct {
 	endpoint string
 	latency  time.Duration
 	err      bool
+	retries  int  // attempts beyond the first
+	shed     bool // at least one attempt was refused with 429
 }
 
 // RunLoad implements cqa-load: it uploads generated databases for the
@@ -197,19 +215,54 @@ func prepareLoad(client *http.Client, base string, seed int64, classifyFrac floa
 	return jobs, nil
 }
 
+// fire issues one request of the load mix, retrying transient failures
+// — connection errors (resets, refused) and 5xx/429 responses — with
+// exponential backoff plus jitter, honoring a Retry-After hint when the
+// server sheds the request. Latency is measured end to end across all
+// attempts: a retried request is still one slow request from the
+// client's point of view.
 func fire(client *http.Client, base string, job loadJob) loadResult {
+	const maxAttempts = 4
+	res := loadResult{endpoint: job.endpoint}
 	start := time.Now()
-	resp, err := client.Post(base+"/v1/"+job.endpoint, "application/json", bytes.NewReader(job.body))
-	res := loadResult{endpoint: job.endpoint, latency: time.Since(start)}
-	if err != nil {
-		res.err = true
-		return res
+	backoff := 25 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		retryAfter := time.Duration(0)
+		retryable := false
+		resp, err := client.Post(base+"/v1/"+job.endpoint, "application/json", bytes.NewReader(job.body))
+		if err != nil {
+			retryable = true // connection reset/refused, transport timeout
+		} else {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				res.shed = true
+				retryable = true
+				if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+					retryAfter = time.Duration(secs) * time.Second
+				}
+			} else if resp.StatusCode >= 500 {
+				retryable = true
+			}
+		}
+		if !retryable {
+			res.latency = time.Since(start)
+			res.err = resp.StatusCode != http.StatusOK
+			return res
+		}
+		if attempt == maxAttempts {
+			res.latency = time.Since(start)
+			res.err = true
+			return res
+		}
+		res.retries++
+		delay := backoff + time.Duration(rand.Int63n(int64(backoff))) // full jitter on top
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		time.Sleep(delay)
+		backoff *= 2
 	}
-	io.Copy(io.Discard, resp.Body) //nolint:errcheck
-	resp.Body.Close()
-	res.latency = time.Since(start)
-	res.err = resp.StatusCode != http.StatusOK
-	return res
 }
 
 // fireAtRate replays the jobs round-robin at the target QPS for the
@@ -269,8 +322,15 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 
 func summarize(stdout io.Writer, results []loadResult, elapsed time.Duration) {
 	byEndpoint := map[string][]time.Duration{}
-	errs := 0
+	errs, retried, retries, shed := 0, 0, 0, 0
 	for _, r := range results {
+		if r.retries > 0 {
+			retried++
+			retries += r.retries
+		}
+		if r.shed {
+			shed++
+		}
 		if r.err {
 			errs++
 			continue
@@ -279,6 +339,8 @@ func summarize(stdout io.Writer, results []loadResult, elapsed time.Duration) {
 	}
 	fmt.Fprintf(stdout, "\n%d requests in %s (%.1f req/s achieved), %d errors\n",
 		len(results), elapsed, float64(len(results))/elapsed.Seconds(), errs)
+	fmt.Fprintf(stdout, "%d requests retried (%d retries total), %d saw 429 shedding\n",
+		retried, retries, shed)
 	endpoints := make([]string, 0, len(byEndpoint))
 	for ep := range byEndpoint {
 		endpoints = append(endpoints, ep)
@@ -350,7 +412,9 @@ func printServerCounters(client *http.Client, base string, stdout io.Writer) {
 	}
 	fmt.Fprintln(stdout, "\nserver counters:")
 	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
-		if strings.HasPrefix(line, "cqa_plancache_") || strings.HasPrefix(line, "cqa_store_") {
+		if strings.HasPrefix(line, "cqa_plancache_") || strings.HasPrefix(line, "cqa_store_") ||
+			strings.HasPrefix(line, "cqa_requests_shed_") || strings.HasPrefix(line, "cqa_request_timeouts_") ||
+			strings.HasPrefix(line, "cqa_panics_recovered_") || strings.HasPrefix(line, "cqa_degraded_") {
 			fmt.Fprintf(stdout, "  %s\n", line)
 		}
 	}

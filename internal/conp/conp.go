@@ -14,6 +14,7 @@ package conp
 
 import (
 	"cqa/internal/db"
+	"cqa/internal/evalctx"
 	"cqa/internal/match"
 	"cqa/internal/query"
 )
@@ -31,6 +32,16 @@ type Stats struct {
 func Certain(q query.Query, d *db.DB) (bool, Stats) {
 	_, found, stats := FalsifyingRepair(q, d)
 	return !found, stats
+}
+
+// CertainChecked is Certain under a cancellation/budget checker: the
+// exponential repair search — the dangerous path for the coNP-complete
+// queries of Theorem 3 — polls chk once per search node and unwinds as
+// soon as it trips. A non-nil error means the search was cut short and
+// the boolean is meaningless. A nil checker enforces nothing.
+func CertainChecked(q query.Query, d *db.DB, chk *evalctx.Checker) (bool, Stats, error) {
+	_, found, stats, err := FalsifyingRepairChecked(q, d, chk)
+	return !found, stats, err
 }
 
 // CertainNoPurify is Certain with Lemma 1 purification disabled; the
@@ -59,12 +70,26 @@ func CertainNoPurify(q query.Query, d *db.DB) (bool, Stats) {
 // irrelevant witness facts from the purification trace, in reverse
 // removal order, which preserves falsification.
 func FalsifyingRepair(q query.Query, d *db.DB) ([]db.Fact, bool, Stats) {
+	repair, found, stats, _ := FalsifyingRepairChecked(q, d, nil)
+	return repair, found, stats
+}
+
+// FalsifyingRepairChecked is FalsifyingRepair under a cancellation/
+// budget checker. On a non-nil error the search was abandoned mid-way:
+// the repair is nil and the boolean meaningless.
+func FalsifyingRepairChecked(q query.Query, d *db.DB, chk *evalctx.Checker) ([]db.Fact, bool, Stats, error) {
 	var stats Stats
 	if q.Empty() {
-		return nil, false, stats // the empty query is true in every repair
+		return nil, false, stats, nil // the empty query is true in every repair
 	}
-	pd, trace := match.PurifyTrace(q, d)
-	matches := match.AllMatches(q, pd)
+	pd, trace, err := match.PurifyTraceChecked(q, d, chk)
+	if err != nil {
+		return nil, false, stats, err
+	}
+	matches, err := match.AllMatchesChecked(q, pd, chk)
+	if err != nil {
+		return nil, false, stats, err
+	}
 	stats.Matches = len(matches)
 
 	var repair []db.Fact
@@ -78,14 +103,18 @@ func FalsifyingRepair(q query.Query, d *db.DB) ([]db.Fact, bool, Stats) {
 		}
 	} else {
 		s := newSearch(q, pd, matches)
+		s.chk = chk
 		stats.Blocks = len(s.blocks)
 		found = s.solve(&stats)
+		if err := chk.Err(); err != nil {
+			return nil, false, stats, err
+		}
 		if found {
 			repair = s.repair()
 		}
 	}
 	if !found {
-		return nil, false, stats
+		return nil, false, stats, nil
 	}
 	// Complete the repair across purified-away blocks, newest removal
 	// first: each witness was irrelevant with respect to everything added
@@ -93,10 +122,14 @@ func FalsifyingRepair(q query.Query, d *db.DB) ([]db.Fact, bool, Stats) {
 	for i := len(trace) - 1; i >= 0; i-- {
 		repair = append(repair, trace[i].Witness)
 	}
-	return repair, true, stats
+	return repair, true, stats, nil
 }
 
 type search struct {
+	// chk aborts the enumeration when its context is cancelled or its
+	// step budget runs out; solveRec's boolean is meaningless once the
+	// checker has tripped (the caller surfaces chk.Err() instead).
+	chk   *evalctx.Checker
 	facts []db.Fact // all facts of the purified db
 	// blocks[b] lists fact indices of block b.
 	blocks [][]int
@@ -257,6 +290,9 @@ func (s *search) repair() []db.Fact {
 // excludes fact i. Any falsifier blocks the constraint at some first
 // position, so exactly one branch covers it.
 func (s *search) solveRec(stats *Stats) bool {
+	if s.chk.Step() != nil {
+		return false
+	}
 	if s.alive == 0 {
 		return true
 	}

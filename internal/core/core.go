@@ -20,11 +20,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cqa/internal/attack"
 	"cqa/internal/conp"
 	"cqa/internal/db"
+	"cqa/internal/match"
 	"cqa/internal/query"
 	"cqa/internal/rewrite"
 )
@@ -128,6 +130,11 @@ func ParseEngine(s string) (Engine, error) {
 	return EngineAuto, fmt.Errorf("core: unknown engine %q", s)
 }
 
+// DefaultSamples is the sampling budget used when a budget-exhausted
+// coNP evaluation degrades to CertainFraction and Options.Samples is
+// unset.
+const DefaultSamples = 200
+
 // Options configure Certain.
 type Options struct {
 	// Engine forces a specific engine; EngineAuto selects by class.
@@ -136,6 +143,22 @@ type Options struct {
 	// candidate bindings; <= 0 selects GOMAXPROCS. 1 forces sequential
 	// checking.
 	Workers int
+	// MaxSteps bounds the total engine steps of one evaluation (search
+	// nodes, recursion levels, block branches — shared across the answer
+	// workers); <= 0 means unlimited. Exhaustion surfaces as
+	// evalctx.ErrBudgetExceeded unless Approximate degrades it.
+	MaxSteps int64
+	// MemoCap bounds the memoization entries an evaluation may retain
+	// (eliminator and ptime memo tables); <= 0 means unlimited.
+	// Exhaustion is silent: engines keep computing without caching.
+	MemoCap int
+	// Approximate degrades a budget-exhausted coNP-engine evaluation to
+	// CertainFraction sampling instead of failing: the Result then
+	// carries Approximate=true and the estimated satisfying fraction.
+	Approximate bool
+	// Samples is the sampling budget of the degraded path; <= 0 selects
+	// DefaultSamples.
+	Samples int
 }
 
 // Result reports a certain-answer decision.
@@ -143,6 +166,12 @@ type Result struct {
 	Certain bool
 	Class   Class
 	Engine  Engine // engine that produced the answer
+	// Approximate marks a degraded answer: the exact evaluation ran out
+	// of its step budget and Certain was estimated by repair sampling
+	// (Certain is then "every sampled repair satisfied q", and Fraction
+	// is the sampled satisfying fraction).
+	Approximate bool
+	Fraction    float64 // meaningful only when Approximate
 }
 
 // Certain decides whether every repair of d satisfies q. It is a thin
@@ -155,6 +184,17 @@ func Certain(q query.Query, d *db.DB, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	return p.Certain(d, opts)
+}
+
+// CertainCtx is Certain under a context: the evaluation engines poll
+// ctx cooperatively (see evalctx) and return ctx.Err() — never a wrong
+// boolean — when the deadline passes or the context is cancelled.
+func CertainCtx(ctx context.Context, q query.Query, d *db.DB, opts Options) (Result, error) {
+	p, err := Compile(q)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.CertainIndexedCtx(ctx, match.NewIndex(d), opts)
 }
 
 // FalsifyingRepair returns a repair of d that falsifies q, when one
@@ -185,4 +225,14 @@ func CertainAnswers(q query.Query, free []query.Var, d *db.DB, opts Options) ([]
 		return nil, err
 	}
 	return p.CertainAnswers(free, d, opts)
+}
+
+// CertainAnswersCtx is CertainAnswers under a context and the resource
+// budgets of opts.
+func CertainAnswersCtx(ctx context.Context, q query.Query, free []query.Var, d *db.DB, opts Options) ([]query.Valuation, error) {
+	p, err := Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	return p.CertainAnswersIndexedCtx(ctx, free, match.NewIndex(d), opts)
 }

@@ -1,12 +1,16 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 
 	"cqa/internal/conp"
 	"cqa/internal/db"
+	"cqa/internal/evalctx"
 	"cqa/internal/match"
 	"cqa/internal/naive"
 	"cqa/internal/ptime"
@@ -97,6 +101,27 @@ func (p *Plan) Certain(d *db.DB, opts Options) (Result, error) {
 // path, where the index is cached per database snapshot and shared
 // across requests and goroutines.
 func (p *Plan) CertainIndexed(ix *match.Index, opts Options) (Result, error) {
+	return p.CertainIndexedCtx(context.Background(), ix, opts)
+}
+
+// CertainIndexedCtx is CertainIndexed under a context and the resource
+// budgets of opts: the engines poll cooperatively and return ctx.Err()
+// (or evalctx.ErrBudgetExceeded) instead of a wrong boolean when cut
+// short. When the coNP engine exhausts its step budget and
+// opts.Approximate is set, the decision degrades to repair sampling and
+// the Result reports Approximate=true.
+func (p *Plan) CertainIndexedCtx(ctx context.Context, ix *match.Index, opts Options) (Result, error) {
+	chk := evalctx.New(ctx, evalctx.Limits{MaxSteps: opts.MaxSteps, MemoCap: opts.MemoCap})
+	return p.certainChecked(ctx, ix, opts, chk)
+}
+
+func (p *Plan) certainChecked(ctx context.Context, ix *match.Index, opts Options, chk *evalctx.Checker) (Result, error) {
+	// Fail fast on a context that is already cancelled — an evaluation
+	// quick enough to finish inside one amortization window would
+	// otherwise never notice.
+	if err := chk.Check(); err != nil {
+		return Result{}, err
+	}
 	engine := p.Engine(opts)
 	res := Result{Class: p.Class, Engine: engine}
 	var err error
@@ -106,7 +131,7 @@ func (p *Plan) CertainIndexed(ix *match.Index, opts Options) (Result, error) {
 			return Result{}, fmt.Errorf("core: attack graph of %s is cyclic; CERTAINTY is not in FO", p.Query)
 		}
 		if p.Elim != nil {
-			res.Certain = p.Elim.Certain(ix)
+			res.Certain, err = p.Elim.CertainChecked(ix, nil, chk)
 		} else {
 			res.Certain = rewrite.CertainAcyclic(p.Query, ix.DB)
 		}
@@ -114,11 +139,16 @@ func (p *Plan) CertainIndexed(ix *match.Index, opts Options) (Result, error) {
 		if p.HasStrongCycle {
 			return Result{}, fmt.Errorf("core: attack graph of %s has a strong cycle; CERTAINTY is coNP-complete", p.Query)
 		}
-		res.Certain, _, err = ptime.CertainNoStrongCycle(p.Query, ix.DB)
+		res.Certain, _, err = ptime.CertainNoStrongCycleChecked(p.Query, ix.DB, chk)
 	case EngineCoNP:
-		res.Certain, _ = conp.Certain(p.Query, ix.DB)
+		res.Certain, _, err = conp.CertainChecked(p.Query, ix.DB, chk)
+		if errors.Is(err, evalctx.ErrBudgetExceeded) && opts.Approximate {
+			return p.degradeToSampling(ctx, ix, opts)
+		}
 	case EngineNaive:
-		res.Certain, err = naive.Certain(p.Query, ix.DB)
+		if err = chk.Check(); err == nil {
+			res.Certain, err = naive.Certain(p.Query, ix.DB)
+		}
 	default:
 		err = fmt.Errorf("core: unknown engine %v", engine)
 	}
@@ -126,6 +156,33 @@ func (p *Plan) CertainIndexed(ix *match.Index, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	return res, nil
+}
+
+// degradeToSampling is the graceful-degradation path of a coNP-class
+// evaluation whose exact search ran out of its step budget: estimate
+// the satisfying-repair fraction by uniform sampling (CertainFraction)
+// under the same context — the request deadline still applies — and
+// report the answer as approximate. The RNG is fixed, so the same
+// request degrades to the same estimate.
+func (p *Plan) degradeToSampling(ctx context.Context, ix *match.Index, opts Options) (Result, error) {
+	samples := opts.Samples
+	if samples <= 0 {
+		samples = DefaultSamples
+	}
+	// A fresh checker: the step budget is spent, but the context of the
+	// exhausted evaluation still bounds the sampling wall-clock.
+	chk := evalctx.New(ctx, evalctx.Limits{})
+	frac, err := CertainFractionChecked(p.Query, ix.DB, samples, rand.New(rand.NewSource(1)), chk)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Certain:     frac >= 1,
+		Class:       p.Class,
+		Engine:      EngineCoNP,
+		Approximate: true,
+		Fraction:    frac,
+	}, nil
 }
 
 // CertainAnswers lifts the plan to non-Boolean queries: for the given
@@ -148,11 +205,26 @@ func (p *Plan) CertainAnswers(free []query.Var, d *db.DB, opts Options) ([]query
 // instantiation can only make the query easier, and each binding is
 // dispatched through Certain, which classifies the instantiated query.
 func (p *Plan) CertainAnswersIndexed(free []query.Var, ix *match.Index, opts Options) ([]query.Valuation, error) {
+	return p.CertainAnswersIndexedCtx(context.Background(), free, ix, opts)
+}
+
+// CertainAnswersIndexedCtx is CertainAnswersIndexed under a context and
+// the budgets of opts. One checker governs the whole request: candidate
+// enumeration polls it, and every pool worker runs a Fork sharing the
+// same step budget. On cancellation or budget exhaustion the feeding
+// loop stops, the workers drain and exit — no goroutine outlives the
+// call — and the request returns the checker's error, never a partial
+// answer set.
+func (p *Plan) CertainAnswersIndexedCtx(ctx context.Context, free []query.Var, ix *match.Index, opts Options) ([]query.Valuation, error) {
 	vars := p.Query.Vars()
 	for _, v := range free {
 		if !vars.Has(v) {
 			return nil, fmt.Errorf("core: free variable %s does not occur in %s", v, p.Query)
 		}
+	}
+	chk := evalctx.New(ctx, evalctx.Limits{MaxSteps: opts.MaxSteps, MemoCap: opts.MemoCap})
+	if err := chk.Check(); err != nil {
+		return nil, err
 	}
 	fastFO := p.Engine(opts) == EngineFO && !p.HasCycle && p.Elim != nil
 
@@ -162,7 +234,7 @@ func (p *Plan) CertainAnswersIndexed(free []query.Var, ix *match.Index, opts Opt
 	freeSet := query.NewVarSet(free...)
 	var candidates []query.Valuation
 	seen := make(map[string]bool)
-	ix.Match(p.Query, query.Valuation{}, func(m query.Valuation) bool {
+	ix.MatchChecked(p.Query, query.Valuation{}, chk, func(m query.Valuation) bool {
 		proj := m.Restrict(freeSet)
 		k := proj.Key()
 		if !seen[k] {
@@ -171,13 +243,20 @@ func (p *Plan) CertainAnswersIndexed(free []query.Var, ix *match.Index, opts Opt
 		}
 		return true
 	})
+	if err := chk.Err(); err != nil {
+		return nil, err
+	}
 
-	check := func(proj query.Valuation) (bool, error) {
+	check := func(proj query.Valuation, wchk *evalctx.Checker) (bool, error) {
 		if fastFO {
-			return p.Elim.CertainWith(ix, proj), nil
+			return p.Elim.CertainChecked(ix, proj, wchk)
 		}
 		qi := p.Query.Substitute(proj)
-		res, err := Certain(qi, ix.DB, opts)
+		pi, err := Compile(qi)
+		if err != nil {
+			return false, err
+		}
+		res, err := pi.certainChecked(ctx, match.NewIndex(ix.DB), Options{Engine: opts.Engine}, wchk)
 		if err != nil {
 			return false, err
 		}
@@ -196,7 +275,10 @@ func (p *Plan) CertainAnswersIndexed(free []query.Var, ix *match.Index, opts Opt
 	errs := make([]error, len(candidates))
 	if workers <= 1 {
 		for i, proj := range candidates {
-			certain[i], errs[i] = check(proj)
+			if err := chk.Err(); err != nil {
+				return nil, err
+			}
+			certain[i], errs[i] = check(proj, chk)
 		}
 	} else {
 		// Warm the shared index once so the workers never race to build
@@ -209,16 +291,32 @@ func (p *Plan) CertainAnswersIndexed(free []query.Var, ix *match.Index, opts Opt
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
+				// Each worker forks the request checker: a private poll
+				// counter over the shared deadline and step budget.
+				wchk := chk.Fork()
 				for i := range jobs {
-					certain[i], errs[i] = check(candidates[i])
+					if err := wchk.Err(); err != nil {
+						errs[i] = err
+						continue // drain the channel; never block the feeder
+					}
+					certain[i], errs[i] = check(candidates[i], wchk)
 				}
 			}()
 		}
+		done := ctx.Done()
+	feed:
 		for i := range candidates {
-			jobs <- i
+			select {
+			case jobs <- i:
+			case <-done:
+				break feed
+			}
 		}
 		close(jobs)
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	var out []query.Valuation

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"cqa/internal/db"
+	"cqa/internal/evalctx"
 	"cqa/internal/match"
 	"cqa/internal/query"
 )
@@ -40,6 +41,15 @@ func Possible(q query.Query, d *db.DB) bool {
 // (cited as [12] in the paper); the decision problem's certainty
 // corresponds to a fraction of 1.
 func CertainFraction(q query.Query, d *db.DB, samples int, rng *rand.Rand) (float64, error) {
+	return CertainFractionChecked(q, d, samples, rng, nil)
+}
+
+// CertainFractionChecked is CertainFraction under a cancellation/budget
+// checker, polled once per sampled repair (a sample is coarse work — a
+// full repair draw plus a satisfaction test — so the poll is immediate,
+// not amortized). It is the graceful-degradation target of
+// budget-exhausted coNP evaluations. A nil checker enforces nothing.
+func CertainFractionChecked(q query.Query, d *db.DB, samples int, rng *rand.Rand, chk *evalctx.Checker) (float64, error) {
 	if samples <= 0 {
 		return 0, fmt.Errorf("core: need a positive sample count")
 	}
@@ -47,6 +57,9 @@ func CertainFraction(q query.Query, d *db.DB, samples int, rng *rand.Rand) (floa
 	hit := 0
 	repair := make([]db.Fact, len(blocks))
 	for s := 0; s < samples; s++ {
+		if err := chk.Check(); err != nil {
+			return 0, err
+		}
 		for i, b := range blocks {
 			repair[i] = b.Facts[rng.Intn(len(b.Facts))]
 		}

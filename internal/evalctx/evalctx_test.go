@@ -1,0 +1,141 @@
+package evalctx
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cqa/internal/faultinject"
+)
+
+func TestNilCheckerEnforcesNothing(t *testing.T) {
+	var c *Checker
+	for i := 0; i < 10_000; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Err() != nil || c.Check() != nil || c.MemoCap() != 0 || c.Steps() != 0 || c.Fork() != nil {
+		t.Fatal("nil checker must be inert")
+	}
+}
+
+func TestNewReturnsNilWhenNothingToEnforce(t *testing.T) {
+	if c := New(context.Background(), Limits{}); c != nil {
+		t.Fatalf("got %+v, want nil", c)
+	}
+	if c := New(nil, Limits{}); c != nil {
+		t.Fatalf("nil ctx: got %+v, want nil", c)
+	}
+	if New(context.Background(), Limits{MaxSteps: 1}) == nil {
+		t.Fatal("budgeted checker must not be nil")
+	}
+}
+
+func TestCancellationIsStickyAndAmortized(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ctx, Limits{Interval: 4})
+	cancel()
+	// The first steps inside the window pass; the poll at the window edge
+	// observes the cancellation and the error sticks.
+	var err error
+	for i := 0; i < 4 && err == nil; i++ {
+		err = c.Step()
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if !errors.Is(c.Err(), context.Canceled) || !errors.Is(c.Step(), context.Canceled) {
+		t.Fatal("cancellation must be sticky")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	c := New(context.Background(), Limits{MaxSteps: 10, Interval: 4})
+	var err error
+	steps := 0
+	for steps < 1000 && err == nil {
+		steps++
+		err = c.Step()
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v after %d steps, want ErrBudgetExceeded", err, steps)
+	}
+	if steps > 16 {
+		t.Fatalf("budget of 10 (interval 4) detected only after %d steps", steps)
+	}
+}
+
+func TestForkSharesBudget(t *testing.T) {
+	c := New(context.Background(), Limits{MaxSteps: 100, Interval: 10})
+	f := c.Fork()
+	exhaust := func(ch *Checker) error {
+		for i := 0; i < 80; i++ {
+			if err := ch.Step(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := exhaust(c); err != nil {
+		t.Fatalf("first 80 steps must fit: %v", err)
+	}
+	if err := exhaust(f); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("fork must see the shared budget: %v", err)
+	}
+	if c.MemoCap() != f.MemoCap() {
+		t.Fatal("fork must inherit limits")
+	}
+}
+
+func TestCheckPollsImmediately(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ctx, Limits{})
+	cancel()
+	if err := c.Check(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Check after cancel: %v", err)
+	}
+}
+
+func TestFaultHookBecomesSticky(t *testing.T) {
+	defer faultinject.Reset()
+	boom := errors.New("boom")
+	faultinject.Set("evalctx.poll", func(int) error { return boom })
+	c := New(context.Background(), Limits{MaxSteps: 1 << 40, Interval: 2})
+	var err error
+	for i := 0; i < 4 && err == nil; i++ {
+		err = c.Step()
+	}
+	if !errors.Is(err, boom) || !errors.Is(c.Err(), boom) {
+		t.Fatalf("fault not propagated: %v / %v", err, c.Err())
+	}
+}
+
+func TestMemoCap(t *testing.T) {
+	c := New(context.Background(), Limits{MemoCap: 7})
+	if c.MemoCap() != 7 {
+		t.Fatalf("MemoCap = %d", c.MemoCap())
+	}
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	c := New(context.Background(), Limits{MaxSteps: int64(b.N) + 1<<32})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := c.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStepNil(b *testing.B) {
+	var c *Checker
+	for i := 0; i < b.N; i++ {
+		if err := c.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -16,7 +16,9 @@ func TestAllExperimentsQuick(t *testing.T) {
 	}
 	out := buf.String()
 	for _, frag := range []string{
-		"### E1", "### E12", "### E13", "### E14", "### E15",
+		"### E1", "### E12", "### E13", "### E14", "### E15", "### E16",
+		"cancellation latency",                   // E16 latency table
+		"context-check overhead",                 // E16 overhead table
 		"R^{+,q}",                                // E1 prints the closure
 		"Markov graph (Figure 2, right)",         // E2
 		"trichotomy over the literature catalog", // E3
@@ -54,8 +56,8 @@ func TestUnknownExperiment(t *testing.T) {
 
 func TestIDsAndDescribe(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 15 {
-		t.Fatalf("have %d experiments, want 15: %v", len(ids), ids)
+	if len(ids) != 16 {
+		t.Fatalf("have %d experiments, want 16: %v", len(ids), ids)
 	}
 	for _, id := range ids {
 		if Describe(id) == "" {

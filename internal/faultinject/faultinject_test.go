@@ -1,0 +1,89 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedIsFree(t *testing.T) {
+	Reset()
+	for i := 0; i < 100; i++ {
+		if err := Fire("nowhere"); err != nil {
+			t.Fatalf("disarmed Fire returned %v", err)
+		}
+	}
+}
+
+func TestSetFiresEveryCall(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Set("p", func(call int) error { return boom })
+	for i := 1; i <= 3; i++ {
+		if err := Fire("p"); err != boom {
+			t.Fatalf("call %d: got %v, want boom", i, err)
+		}
+	}
+	if got := Calls("p"); got != 3 {
+		t.Fatalf("Calls = %d, want 3", got)
+	}
+	if err := Fire("other"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestWindowAfterAndTimes(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Set("w", nil)
+	SetWindow("w", 2, 1, func(call int) error { return boom })
+	got := []error{Fire("w"), Fire("w"), Fire("w"), Fire("w")}
+	want := []error{nil, nil, boom, nil}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("call %d: got %v, want %v", i+1, got[i], want[i])
+		}
+	}
+	if Calls("w") != 1 {
+		t.Fatalf("Calls = %d, want 1", Calls("w"))
+	}
+}
+
+func TestClearDisablesWhenEmpty(t *testing.T) {
+	defer Reset()
+	Set("a", func(int) error { return errors.New("x") })
+	Clear("a")
+	if err := Fire("a"); err != nil {
+		t.Fatalf("cleared point fired: %v", err)
+	}
+	if armed.Load() {
+		t.Fatal("registry still armed after clearing the last point")
+	}
+}
+
+func TestConcurrentFire(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	SetWindow("c", 0, 50, func(call int) error { return boom })
+	var wg sync.WaitGroup
+	hits := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if Fire("c") != nil {
+					hits[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	if total != 50 {
+		t.Fatalf("fired %d times, want exactly 50", total)
+	}
+}

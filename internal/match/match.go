@@ -7,6 +7,7 @@ package match
 
 import (
 	"cqa/internal/db"
+	"cqa/internal/evalctx"
 	"cqa/internal/query"
 )
 
@@ -127,12 +128,23 @@ func boundCount(a query.Atom, val query.Valuation) (bound int, keyFullyBound boo
 // returns false; Match returns false in that case. The valuation passed to
 // yield is reused across calls: clone it to retain it.
 func (ix *Index) Match(q query.Query, partial query.Valuation, yield func(query.Valuation) bool) bool {
-	val := partial.Clone()
-	used := make([]bool, q.Len())
-	return ix.matchRec(q, used, val, yield)
+	return ix.MatchChecked(q, partial, nil, yield)
 }
 
-func (ix *Index) matchRec(q query.Query, used []bool, val query.Valuation, yield func(query.Valuation) bool) bool {
+// MatchChecked is Match under a cancellation/budget checker, polled once
+// per candidate fact of the backtracking join — not just per yielded
+// match, which would leave a join that explores many failing branches
+// (or finds no match at all) running unpolled for its entire duration.
+// On a tripped checker the enumeration unwinds and MatchChecked returns
+// false; callers distinguish abort from exhaustion via chk.Err(). A nil
+// checker enforces nothing.
+func (ix *Index) MatchChecked(q query.Query, partial query.Valuation, chk *evalctx.Checker, yield func(query.Valuation) bool) bool {
+	val := partial.Clone()
+	used := make([]bool, q.Len())
+	return ix.matchRec(q, used, val, chk, yield)
+}
+
+func (ix *Index) matchRec(q query.Query, used []bool, val query.Valuation, chk *evalctx.Checker, yield func(query.Valuation) bool) bool {
 	// Find the next atom: prefer fully-bound keys (block lookup), then the
 	// atom with the most bound positions.
 	next := -1
@@ -158,11 +170,14 @@ func (ix *Index) matchRec(q query.Query, used []bool, val query.Valuation, yield
 	used[next] = true
 	defer func() { used[next] = false }()
 	for _, f := range ix.candidates(a, val) {
+		if chk.Step() != nil {
+			return false
+		}
 		added, ok := unify(a, f, val)
 		if !ok {
 			continue
 		}
-		cont := ix.matchRec(q, used, val, yield)
+		cont := ix.matchRec(q, used, val, chk, yield)
 		for _, v := range added {
 			delete(val, v)
 		}
@@ -232,6 +247,20 @@ func AllMatches(q query.Query, d *db.DB) []query.Valuation {
 	return NewIndex(d).All(q)
 }
 
+// AllMatchesChecked is AllMatches under a cancellation/budget checker,
+// polled once per enumerated match. A nil checker enforces nothing.
+func AllMatchesChecked(q query.Query, d *db.DB, chk *evalctx.Checker) ([]query.Valuation, error) {
+	var out []query.Valuation
+	NewIndex(d).MatchChecked(q, query.Valuation{}, chk, func(v query.Valuation) bool {
+		out = append(out, v.Clone())
+		return true
+	})
+	if err := chk.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // RelevantFact reports whether f is relevant for q in d.
 func RelevantFact(q query.Query, d *db.DB, f db.Fact) bool {
 	ix := NewIndex(d)
@@ -277,6 +306,16 @@ type Removal struct {
 // irrelevant when removed, so it cannot complete an embedding against the
 // facts that remained).
 func PurifyTrace(q query.Query, d *db.DB) (*db.DB, []Removal) {
+	pd, trace, _ := PurifyTraceChecked(q, d, nil)
+	return pd, trace
+}
+
+// PurifyTraceChecked is PurifyTrace under a cancellation/budget checker.
+// Purification is polynomial but not cheap — each fixpoint round
+// re-enumerates every embedding — so on large instances it can dominate
+// the latency of a cut-short evaluation; the rounds poll the checker
+// per embedding and per scanned fact. A nil checker enforces nothing.
+func PurifyTraceChecked(q query.Query, d *db.DB, chk *evalctx.Checker) (*db.DB, []Removal, error) {
 	var trace []Removal
 	cur := d.Filter(func(f db.Fact) bool {
 		if q.HasRel(f.Rel.Name) {
@@ -294,11 +333,14 @@ func PurifyTrace(q query.Query, d *db.DB) (*db.DB, []Removal) {
 		}
 	}
 	for {
+		if err := chk.Check(); err != nil {
+			return nil, nil, err
+		}
 		// One embedding enumeration marks every relevant fact; anything
 		// unmarked is irrelevant and dooms its whole block.
 		ix := NewIndex(cur)
 		relevant := make(map[string]bool, cur.Len())
-		ix.Match(q, query.Valuation{}, func(v query.Valuation) bool {
+		ix.MatchChecked(q, query.Valuation{}, chk, func(v query.Valuation) bool {
 			for _, a := range q.Atoms {
 				if f, err := db.FactFromAtom(a, v); err == nil {
 					relevant[f.ID()] = true
@@ -308,6 +350,9 @@ func PurifyTrace(q query.Query, d *db.DB) (*db.DB, []Removal) {
 		})
 		dropBlocks := make(map[string]bool)
 		for _, f := range cur.Facts() {
+			if chk.Step() != nil {
+				break
+			}
 			if dropBlocks[f.BlockID()] {
 				continue
 			}
@@ -316,8 +361,11 @@ func PurifyTrace(q query.Query, d *db.DB) (*db.DB, []Removal) {
 				trace = append(trace, Removal{BlockID: f.BlockID(), Witness: f})
 			}
 		}
+		if err := chk.Err(); err != nil {
+			return nil, nil, err
+		}
 		if len(dropBlocks) == 0 {
-			return cur, trace
+			return cur, trace, nil
 		}
 		cur = cur.Filter(func(f db.Fact) bool { return !dropBlocks[f.BlockID()] })
 	}

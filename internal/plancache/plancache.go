@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"cqa/internal/core"
+	"cqa/internal/faultinject"
 )
 
 // DefaultCapacity is the total plan capacity used when New is given a
@@ -118,6 +119,10 @@ func (c *Cache) GetOrCompile(text string) (p *core.Plan, hit bool, err error) {
 	}
 	if p, ok := c.Get(key); ok {
 		return p, true, nil
+	}
+	// Chaos hook: simulate a compilation failure on the miss path.
+	if err := faultinject.Fire("plancache.compile"); err != nil {
+		return nil, false, err
 	}
 	p, err = core.Compile(q)
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 	"cqa/internal/conp"
 	"cqa/internal/db"
 	"cqa/internal/dissolve"
+	"cqa/internal/evalctx"
 	"cqa/internal/markov"
 	"cqa/internal/match"
 	"cqa/internal/query"
@@ -75,8 +76,18 @@ func CertainTraced(q query.Query, d *db.DB, trace bool) (bool, *Stats, []string,
 // that Certain performs on every call. The result is meaningless on
 // strong-cycle queries.
 func CertainNoStrongCycle(q query.Query, d *db.DB) (bool, *Stats, error) {
+	return CertainNoStrongCycleChecked(q, d, nil)
+}
+
+// CertainNoStrongCycleChecked is CertainNoStrongCycle under a
+// cancellation/budget checker: the lemma loops poll chk once per
+// recursion level and per Lemma 9 branch, and the exact-search fallback
+// inherits the same checker, so one budget governs the whole pipeline.
+// A non-nil error means the evaluation was cut short and the boolean is
+// meaningless. A nil checker enforces nothing.
+func CertainNoStrongCycleChecked(q query.Query, d *db.DB, chk *evalctx.Checker) (bool, *Stats, error) {
 	st := &Stats{}
-	ctx := &solver{stats: st}
+	ctx := &solver{stats: st, chk: chk, memoCap: chk.MemoCap()}
 	ok, err := ctx.solve(q, d, 0)
 	return ok, st, err
 }
@@ -85,9 +96,12 @@ type solver struct {
 	stats   *Stats
 	tracing bool
 	trace   []string
+	chk     *evalctx.Checker
 	// memo caches instantiated-query results per database identity; the
 	// Lemma 9 branch recurses many times against the same database.
-	memo map[*db.DB]map[string]bool
+	memo     map[*db.DB]map[string]bool
+	memoSize int
+	memoCap  int // memo-entry ceiling across all databases (0 = unlimited)
 }
 
 func (s *solver) tracef(depth int, format string, args ...any) {
@@ -110,6 +124,11 @@ func (s *solver) memoGet(d *db.DB, key string) (bool, bool) {
 }
 
 func (s *solver) memoPut(d *db.DB, key string, v bool) {
+	if s.memoCap > 0 && s.memoSize >= s.memoCap {
+		// Memo budget exhausted: keep computing without caching. The
+		// recursion stays correct, it just re-derives shared residues.
+		return
+	}
 	if s.memo == nil {
 		s.memo = make(map[*db.DB]map[string]bool)
 	}
@@ -118,12 +137,18 @@ func (s *solver) memoPut(d *db.DB, key string, v bool) {
 		m = make(map[string]bool)
 		s.memo[d] = m
 	}
+	if _, ok := m[key]; !ok {
+		s.memoSize++
+	}
 	m[key] = v
 }
 
 const maxDepth = 64
 
 func (s *solver) solve(q query.Query, d *db.DB, depth int) (bool, error) {
+	if err := s.chk.Step(); err != nil {
+		return false, err
+	}
 	if depth > maxDepth {
 		return false, fmt.Errorf("ptime: recursion exceeded depth %d on %s", maxDepth, q)
 	}
@@ -144,11 +169,18 @@ func (s *solver) solve(q query.Query, d *db.DB, depth int) (bool, error) {
 
 	// Step 1: purify; an empty purified database admits no embedding, so
 	// some repair falsifies q.
-	pd := match.Purify(q, d)
+	pd, _, err := match.PurifyTraceChecked(q, d, s.chk)
+	if err != nil {
+		return false, err
+	}
 	if pd.Len() != d.Len() {
 		s.tracef(depth, "purify (Lemma 1): %d -> %d facts", d.Len(), pd.Len())
 	}
-	if len(match.AllMatches(q, pd)) == 0 {
+	ms, err := match.AllMatchesChecked(q, pd, s.chk)
+	if err != nil {
+		return false, err
+	}
+	if len(ms) == 0 {
 		s.tracef(depth, "no embedding survives purification: NOT certain")
 		s.memoPut(d, q.Canonical(), false)
 		return false, nil
@@ -223,7 +255,11 @@ func (s *solver) branch(q query.Query, d *db.DB, depth int) (bool, error) {
 		if gd.Len() != d.Len() {
 			s.tracef(depth, "gpurify (Lemma 17): %d -> %d facts", d.Len(), gd.Len())
 		}
-		if len(match.AllMatches(q, gd)) == 0 {
+		gms, err := match.AllMatchesChecked(q, gd, s.chk)
+		if err != nil {
+			return false, err
+		}
+		if len(gms) == 0 {
 			s.tracef(depth, "no embedding survives gpurification: NOT certain")
 			return false, nil
 		}
@@ -244,7 +280,10 @@ func (s *solver) branch(q query.Query, d *db.DB, depth int) (bool, error) {
 			// construction does not cover this instance. Fall back to the
 			// exact engine rather than give a wrong answer.
 			s.stats.Fallbacks++
-			certain, _ := conp.Certain(q, d)
+			certain, _, cerr := conp.CertainChecked(q, d, s.chk)
+			if cerr != nil {
+				return false, cerr
+			}
 			return certain, nil
 		}
 		s.stats.Saturations++
@@ -268,6 +307,9 @@ func (s *solver) lemma9(q query.Query, f query.Atom, d *db.DB, depth int) (bool,
 		}
 		allGood := true
 		for _, fact := range b.Facts {
+			if err := s.chk.Step(); err != nil {
+				return false, err
+			}
 			s.stats.Branches++
 			thetaPlus := theta.Clone()
 			if !match.UnifyTerms(f.NonKeyArgs(), fact.NonKey(), thetaPlus) {
@@ -328,7 +370,10 @@ func (s *solver) dissolveCase(q query.Query, gd *db.DB, depth int) (bool, error)
 		// report's construction on this query. Stay sound: exact search.
 		s.stats.Fallbacks++
 		s.tracef(depth, "FALLBACK: no premier cycle; exact search")
-		certain, _ := conp.Certain(q, gd)
+		certain, _, err := conp.CertainChecked(q, gd, s.chk)
+		if err != nil {
+			return false, err
+		}
 		return certain, nil
 	}
 	s.tracef(depth, "dissolve premier Markov cycle %v (Definition 5)", c)

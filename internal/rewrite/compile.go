@@ -7,6 +7,7 @@ import (
 
 	"cqa/internal/attack"
 	"cqa/internal/db"
+	"cqa/internal/evalctx"
 	"cqa/internal/match"
 	"cqa/internal/query"
 )
@@ -100,7 +101,8 @@ func (e *Eliminator) Order() []query.Atom { return e.order }
 // Certain decides CERTAINTY of the compiled query over the indexed
 // database.
 func (e *Eliminator) Certain(ix *match.Index) bool {
-	return e.CertainWith(ix, nil)
+	ok, _ := e.CertainChecked(ix, nil, nil)
+	return ok
 }
 
 // CertainWith decides certainty of the compiled query instantiated by
@@ -108,24 +110,45 @@ func (e *Eliminator) Certain(ix *match.Index) bool {
 // variables). Instantiation never adds attacks (Lemma 6), so the
 // compiled order remains valid; initial is not modified.
 func (e *Eliminator) CertainWith(ix *match.Index, initial query.Valuation) bool {
-	ev := &elimEval{e: e, ix: ix, memo: make(map[string]bool)}
+	ok, _ := e.CertainChecked(ix, initial, nil)
+	return ok
+}
+
+// CertainChecked is CertainWith under a cancellation/budget checker: the
+// walk polls chk once per recursion step and unwinds as soon as the
+// checker trips. A non-nil error means the evaluation was cut short and
+// the boolean is meaningless — callers must check the error first. A
+// nil checker enforces nothing.
+func (e *Eliminator) CertainChecked(ix *match.Index, initial query.Valuation, chk *evalctx.Checker) (bool, error) {
+	ev := &elimEval{e: e, ix: ix, memo: make(map[string]bool), chk: chk, memoCap: chk.MemoCap()}
 	val := make(query.Valuation, len(initial))
 	for v, c := range initial {
 		val[v] = c
 	}
-	return ev.run(0, val)
+	res := ev.run(0, val)
+	if err := chk.Err(); err != nil {
+		return false, err
+	}
+	return res, nil
 }
 
 // elimEval is one evaluation of an Eliminator: a shared valuation
 // extended and undone in place down the elimination order, and a memo
-// table keyed by (level, relevant bindings).
+// table keyed by (level, relevant bindings). The checker's sticky error
+// aborts the walk: once it trips, run returns false all the way up and
+// the caller surfaces the error instead of the boolean.
 type elimEval struct {
-	e    *Eliminator
-	ix   *match.Index
-	memo map[string]bool
+	e       *Eliminator
+	ix      *match.Index
+	memo    map[string]bool
+	chk     *evalctx.Checker
+	memoCap int // memo-entry ceiling (0 = unlimited)
 }
 
 func (ev *elimEval) run(level int, val query.Valuation) bool {
+	if ev.chk.Step() != nil {
+		return false
+	}
 	if level == len(ev.e.order) {
 		return true
 	}
@@ -134,7 +157,13 @@ func (ev *elimEval) run(level int, val query.Valuation) bool {
 		return v
 	}
 	res := ev.eval(level, val)
-	ev.memo[key] = res
+	// Never memoize under a tripped checker (the result is a truncated
+	// evaluation, not the real answer) or past the memo budget (bounded
+	// memory beats bounded time here: the walk stays correct, it just
+	// recomputes).
+	if ev.chk.Err() == nil && (ev.memoCap <= 0 || len(ev.memo) < ev.memoCap) {
+		ev.memo[key] = res
+	}
 	return res
 }
 

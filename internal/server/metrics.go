@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -10,14 +11,24 @@ import (
 	"time"
 )
 
-// metrics holds per-endpoint request and error counters. Labels are the
-// fixed endpoint names passed to instrument, so the map is written only
-// through counter(), which is safe for concurrent use.
+// metrics holds per-endpoint request and error counters plus the
+// hardening counters (sheds, timeouts, recovered panics, degraded
+// answers). Labels are the fixed endpoint names passed to instrument,
+// so the map is written only through counter(), which is safe for
+// concurrent use.
 type metrics struct {
 	mu       sync.Mutex
 	requests map[string]*atomic.Uint64
 	errors   map[string]*atomic.Uint64
 	inflight atomic.Int64
+	// shed counts requests rejected with 429 at the admission gate.
+	shed atomic.Uint64
+	// timeouts counts evaluations cut short by their deadline (504s).
+	timeouts atomic.Uint64
+	// panics counts engine panics converted into structured 500s.
+	panics atomic.Uint64
+	// degraded counts coNP evaluations that fell back to sampling.
+	degraded atomic.Uint64
 }
 
 func newMetrics() *metrics {
@@ -38,48 +49,91 @@ func counter(mu *sync.Mutex, m map[string]*atomic.Uint64, label string) *atomic.
 	return c
 }
 
-// statusRecorder captures the status code a handler writes.
+// statusRecorder captures the status code a handler writes and whether
+// the header went out (after which a panic can no longer be converted
+// into a structured 500).
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
-	r.status = code
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting, the worker-cap
-// semaphore (for evaluating endpoints), and per-request logging with
-// latency and the engine used.
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(p)
+}
+
+// instrument wraps a handler with request counting, panic recovery, the
+// bounded-admission gate (for evaluating endpoints), and per-request
+// logging with latency and the engine used.
+//
+// Panic recovery converts an engine panic into a structured 500 (when
+// the response header has not yet been written) and increments
+// cqa_panics_recovered_total — one poisoned request must never take the
+// process, or the other in-flight requests, down with it.
+//
+// Admission is a shedding semaphore: when MaxWorkers requests are
+// already evaluating, the request is refused immediately with 429 and a
+// Retry-After hint instead of queueing unboundedly behind a possibly
+// pathological workload.
 func (s *Server) instrument(label string, limited bool, h http.HandlerFunc) http.Handler {
 	reqs := counter(&s.metrics.mu, s.metrics.requests, label)
 	errs := counter(&s.metrics.mu, s.metrics.errors, label)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		reqs.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.panics.Add(1)
+				if s.logger != nil {
+					s.logger.Printf("panic on %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				}
+				if !rec.wrote {
+					httpErrorCode(rec, http.StatusInternalServerError, "internal_panic",
+						"internal error: the evaluation engine panicked (recovered)")
+				} else {
+					rec.status = http.StatusInternalServerError
+				}
+			}
+			elapsed := time.Since(start)
+			if rec.status >= 400 {
+				errs.Add(1)
+			}
+			if s.logger != nil {
+				extra := ""
+				if engine := rec.Header().Get("X-CQA-Engine"); engine != "" {
+					extra += " engine=" + engine
+				}
+				if cache := rec.Header().Get("X-CQA-Cache"); cache != "" {
+					extra += " plan=" + cache
+				}
+				s.logger.Printf("%s %s %d %s%s", r.Method, r.URL.Path, rec.status, elapsed.Round(time.Microsecond), extra)
+			}
+		}()
 		if limited {
-			s.sem <- struct{}{}
-			defer func() { <-s.sem }()
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.metrics.shed.Add(1)
+				rec.Header().Set("Retry-After", "1")
+				httpErrorCode(rec, http.StatusTooManyRequests, "overloaded",
+					"admission capacity reached (%d evaluations in flight); retry later", cap(s.sem))
+				return
+			}
 		}
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		start := time.Now()
 		h(rec, r)
-		elapsed := time.Since(start)
-		if rec.status >= 400 {
-			errs.Add(1)
-		}
-		if s.logger != nil {
-			extra := ""
-			if engine := rec.Header().Get("X-CQA-Engine"); engine != "" {
-				extra += " engine=" + engine
-			}
-			if cache := rec.Header().Get("X-CQA-Cache"); cache != "" {
-				extra += " plan=" + cache
-			}
-			s.logger.Printf("%s %s %d %s%s", r.Method, r.URL.Path, rec.status, elapsed.Round(time.Microsecond), extra)
-		}
 	})
 }
 
@@ -88,6 +142,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "cqa_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
 	fmt.Fprintf(&b, "cqa_inflight_requests %d\n", s.metrics.inflight.Load()-1) // exclude this request
+	fmt.Fprintf(&b, "cqa_requests_shed_total %d\n", s.metrics.shed.Load())
+	fmt.Fprintf(&b, "cqa_request_timeouts_total %d\n", s.metrics.timeouts.Load())
+	fmt.Fprintf(&b, "cqa_panics_recovered_total %d\n", s.metrics.panics.Load())
+	fmt.Fprintf(&b, "cqa_degraded_answers_total %d\n", s.metrics.degraded.Load())
+	ready := 1
+	if reasons := s.notReadyReasons(); len(reasons) > 0 {
+		ready = 0
+	}
+	fmt.Fprintf(&b, "cqa_ready %d\n", ready)
 
 	s.metrics.mu.Lock()
 	labels := make([]string, 0, len(s.metrics.requests))
@@ -113,6 +176,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	ixst := s.store.IndexStats()
 	fmt.Fprintf(&b, "cqa_indexcache_hits_total %d\n", ixst.Hits())
 	fmt.Fprintf(&b, "cqa_indexcache_misses_total %d\n", ixst.Misses())
+	fmt.Fprintf(&b, "cqa_indexcache_building %d\n", ixst.Building())
 	fmt.Fprintf(&b, "cqa_store_databases %d\n", s.store.Len())
 
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

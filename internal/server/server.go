@@ -19,17 +19,22 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"runtime"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"cqa/internal/catalog"
 	"cqa/internal/core"
 	"cqa/internal/db"
+	"cqa/internal/evalctx"
 	"cqa/internal/match"
 	"cqa/internal/plancache"
 	"cqa/internal/query"
@@ -40,29 +45,68 @@ import (
 // maxBodyBytes bounds request bodies (queries and fact uploads).
 const maxBodyBytes = 32 << 20
 
+// Operational defaults; see Config for the overrides.
+const (
+	// DefaultEvalTimeout is the per-request deadline of the evaluating
+	// routes (certain/answers) when the request carries no timeoutMs.
+	DefaultEvalTimeout = 10 * time.Second
+	// DefaultMaxTimeout caps the per-request timeoutMs override: no
+	// client can hold an evaluation slot longer than this.
+	DefaultMaxTimeout = 2 * time.Minute
+	// DefaultMaxSteps is the per-query engine step budget. The coNP
+	// search on an adversarial instance is exponential; this bounds it
+	// to roughly a second of CPU, after which the request degrades to
+	// sampling (approximate: true) or fails with budget_exhausted.
+	DefaultMaxSteps = 20_000_000
+	// DefaultMemoCap bounds the memoization entries one evaluation may
+	// hold (eliminator + ptime memo tables): bounded memory per request.
+	DefaultMemoCap = 1 << 20
+)
+
 // Config configures a Server.
 type Config struct {
 	// CacheSize is the plan-cache capacity in plans; <= 0 selects
 	// plancache.DefaultCapacity.
 	CacheSize int
 	// MaxWorkers caps the number of concurrently evaluating requests
-	// (classify/certain/answers/rewrite); excess requests queue. <= 0
-	// selects 2×GOMAXPROCS.
+	// (classify/certain/answers/rewrite). Excess requests are shed with
+	// 429 + Retry-After rather than queued. <= 0 selects 2×GOMAXPROCS.
 	MaxWorkers int
 	// Logger receives one line per request (method, path, status,
 	// latency, engine, cache status); nil disables request logging.
 	Logger *log.Logger
+	// EvalTimeout is the default evaluation deadline per request; 0
+	// selects DefaultEvalTimeout, negative disables the default (a
+	// request may still set its own timeoutMs).
+	EvalTimeout time.Duration
+	// MaxTimeout caps the per-request timeoutMs override; 0 selects
+	// DefaultMaxTimeout.
+	MaxTimeout time.Duration
+	// MaxSteps is the default per-query engine step budget; 0 selects
+	// DefaultMaxSteps, negative disables it.
+	MaxSteps int64
+	// MemoCap is the default per-query memo budget; 0 selects
+	// DefaultMemoCap, negative disables it.
+	MemoCap int
 }
 
 // Server carries the shared serving state. Create with New; the
 // http.Handler is obtained from Handler.
 type Server struct {
-	cache   *plancache.Cache
-	store   *store.Store
-	logger  *log.Logger
-	sem     chan struct{}
-	start   time.Time
-	metrics *metrics
+	cache       *plancache.Cache
+	store       *store.Store
+	logger      *log.Logger
+	sem         chan struct{}
+	start       time.Time
+	metrics     *metrics
+	evalTimeout time.Duration
+	maxTimeout  time.Duration
+	maxSteps    int64
+	memoCap     int
+	// draining is flipped by graceful shutdown before the listener
+	// stops accepting: readiness goes false first, so load balancers
+	// stop routing while in-flight requests finish.
+	draining atomic.Bool
 }
 
 // New returns a server with an empty database registry and a cold plan
@@ -72,15 +116,50 @@ func New(cfg Config) *Server {
 	if workers <= 0 {
 		workers = 2 * runtime.GOMAXPROCS(0)
 	}
+	evalTimeout := cfg.EvalTimeout
+	switch {
+	case evalTimeout == 0:
+		evalTimeout = DefaultEvalTimeout
+	case evalTimeout < 0:
+		evalTimeout = 0
+	}
+	maxTimeout := cfg.MaxTimeout
+	if maxTimeout <= 0 {
+		maxTimeout = DefaultMaxTimeout
+	}
+	maxSteps := cfg.MaxSteps
+	switch {
+	case maxSteps == 0:
+		maxSteps = DefaultMaxSteps
+	case maxSteps < 0:
+		maxSteps = 0
+	}
+	memoCap := cfg.MemoCap
+	switch {
+	case memoCap == 0:
+		memoCap = DefaultMemoCap
+	case memoCap < 0:
+		memoCap = 0
+	}
 	return &Server{
-		cache:   plancache.New(cfg.CacheSize),
-		store:   store.New(),
-		logger:  cfg.Logger,
-		sem:     make(chan struct{}, workers),
-		start:   time.Now(),
-		metrics: newMetrics(),
+		cache:       plancache.New(cfg.CacheSize),
+		store:       store.New(),
+		logger:      cfg.Logger,
+		sem:         make(chan struct{}, workers),
+		start:       time.Now(),
+		metrics:     newMetrics(),
+		evalTimeout: evalTimeout,
+		maxTimeout:  maxTimeout,
+		maxSteps:    maxSteps,
+		memoCap:     memoCap,
 	}
 }
+
+// SetDraining flips the drain flag: a draining server reports not-ready
+// from /readyz (and cqa_ready 0) while continuing to serve in-flight
+// and straggler requests. Graceful shutdown sets it before closing the
+// listener.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // Store exposes the database registry (used by tests and preloading).
 func (s *Server) Store() *store.Store { return s.store }
@@ -91,7 +170,9 @@ func (s *Server) Cache() *plancache.Cache { return s.cache }
 // Handler returns the routed handler with logging and instrumentation.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleLivez))
+	mux.Handle("GET /livez", s.instrument("livez", false, s.handleLivez))
+	mux.Handle("GET /readyz", s.instrument("readyz", false, s.handleReadyz))
 	mux.Handle("GET /metrics", s.instrument("metrics", false, s.handleMetrics))
 	mux.Handle("GET /v1/catalog", s.instrument("catalog", false, s.handleCatalog))
 	mux.Handle("POST /v1/classify", s.instrument("classify", true, s.handleClassify))
@@ -109,6 +190,9 @@ func (s *Server) Handler() http.Handler {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code is a stable machine-readable cause: "deadline_exceeded",
+	// "budget_exhausted", "overloaded", "not_ready", "internal_panic".
+	Code string `json:"code,omitempty"`
 }
 
 type classifyRequest struct {
@@ -129,6 +213,20 @@ type certainRequest struct {
 	Facts  string   `json:"facts,omitempty"`  // inline facts, one per line
 	Engine string   `json:"engine,omitempty"` // auto (default), fo, ptime, conp, naive
 	Free   []string `json:"free,omitempty"`   // /v1/answers only
+	// TimeoutMs overrides the server's default evaluation deadline for
+	// this request, capped by the server's MaxTimeout.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// MaxSteps overrides the server's default engine step budget (only
+	// downwards-or-equal of the server cap, enforced loosely: a request
+	// cannot disable the budget).
+	MaxSteps int64 `json:"maxSteps,omitempty"`
+	// Approximate controls graceful degradation of a budget-exhausted
+	// coNP evaluation to repair sampling; nil means the server default
+	// (enabled). Explicitly false turns exhaustion into a
+	// budget_exhausted error.
+	Approximate *bool `json:"approximate,omitempty"`
+	// Samples is the sampling budget of the degraded path.
+	Samples int `json:"samples,omitempty"`
 }
 
 type dbRef struct {
@@ -143,6 +241,12 @@ type certainResponse struct {
 	Engine  string `json:"engine"`
 	Cached  bool   `json:"cached"`
 	DB      *dbRef `json:"db,omitempty"`
+	// Approximate marks a degraded answer: the exact coNP search ran
+	// out of its step budget and Certain reports whether every sampled
+	// repair satisfied the query; Fraction is the sampled satisfying
+	// fraction.
+	Approximate bool     `json:"approximate,omitempty"`
+	Fraction    *float64 `json:"fraction,omitempty"`
 }
 
 type answersResponse struct {
@@ -196,6 +300,77 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func httpErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// statusClientClosedRequest is the de-facto (nginx) status for a
+// request whose client went away before the evaluation finished; the
+// client never sees it, but logs and error counters do.
+const statusClientClosedRequest = 499
+
+// evalError translates an evaluation error into the structured failure
+// taxonomy: a passed deadline is a 504 (the request was admitted but
+// could not finish in time — retrying with a longer timeoutMs or a
+// smaller database may succeed), a spent step budget without
+// degradation is a 422 (deterministic: retrying is pointless), a
+// cancelled client is logged as 499, and everything else keeps the
+// pre-existing 422 semantics (e.g. forcing the fo engine on a cyclic
+// query).
+func (s *Server) evalError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.timeouts.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpErrorCode(w, http.StatusGatewayTimeout, "deadline_exceeded",
+			"evaluation deadline exceeded: %v", err)
+	case errors.Is(err, context.Canceled):
+		httpErrorCode(w, statusClientClosedRequest, "client_closed_request",
+			"client closed the request: %v", err)
+	case errors.Is(err, evalctx.ErrBudgetExceeded):
+		httpErrorCode(w, http.StatusUnprocessableEntity, "budget_exhausted",
+			"evaluation step budget exhausted: %v", err)
+	default:
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+	}
+}
+
+// evalContext derives the evaluation context of one request: the
+// server's default deadline, overridden by the request's timeoutMs and
+// capped by MaxTimeout. The returned cancel must run when the handler
+// finishes, releasing the deadline timer.
+func (s *Server) evalContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	timeout := s.evalTimeout
+	if timeoutMs > 0 {
+		timeout = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if timeout > s.maxTimeout {
+		timeout = s.maxTimeout
+	}
+	if timeout <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// evalOptions resolves the engine and resource budgets of one request
+// against the server defaults.
+func (s *Server) evalOptions(w http.ResponseWriter, req certainRequest) (core.Options, bool) {
+	opts, ok := parseEngine(w, req.Engine)
+	if !ok {
+		return core.Options{}, false
+	}
+	opts.MaxSteps = s.maxSteps
+	if req.MaxSteps > 0 && (s.maxSteps <= 0 || req.MaxSteps < s.maxSteps) {
+		// Requests may tighten the budget, never widen it.
+		opts.MaxSteps = req.MaxSteps
+	}
+	opts.MemoCap = s.memoCap
+	opts.Approximate = req.Approximate == nil || *req.Approximate
+	opts.Samples = req.Samples
+	return opts, true
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -297,9 +472,44 @@ func parseEngine(w http.ResponseWriter, name string) (core.Options, bool) {
 
 // --- handlers ---
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// handleLivez is liveness: the process is up and serving HTTP. It stays
+// true while draining (the process is alive; it is readiness that
+// flips), and /healthz aliases it for backward compatibility.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "ok\n") //nolint:errcheck
+}
+
+// notReadyReasons reports why the server should not receive new
+// traffic: it is draining (graceful shutdown flipped readiness before
+// closing the listener), a snapshot evaluation-index build is in flight
+// (the next request against that snapshot would stall on the build), or
+// the admission gate is saturated (a new request would be shed anyway).
+func (s *Server) notReadyReasons() []string {
+	var reasons []string
+	if s.draining.Load() {
+		reasons = append(reasons, "draining")
+	}
+	if n := s.store.IndexStats().Building(); n > 0 {
+		reasons = append(reasons, fmt.Sprintf("%d snapshot index build(s) in flight", n))
+	}
+	if len(s.sem) >= cap(s.sem) {
+		reasons = append(reasons, fmt.Sprintf("admission saturated (%d in flight)", cap(s.sem)))
+	}
+	return reasons
+}
+
+// handleReadyz is readiness: whether this instance should receive new
+// traffic right now.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if reasons := s.notReadyReasons(); len(reasons) > 0 {
+		w.Header().Set("Retry-After", "1")
+		httpErrorCode(w, http.StatusServiceUnavailable, "not_ready",
+			"not ready: %s", strings.Join(reasons, "; "))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ready\n") //nolint:errcheck
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
@@ -329,7 +539,7 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	opts, ok := parseEngine(w, req.Engine)
+	opts, ok := s.evalOptions(w, req)
 	if !ok {
 		return
 	}
@@ -337,20 +547,30 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, err := plan.CertainIndexed(ix, opts)
+	ctx, cancel := s.evalContext(r, req.TimeoutMs)
+	defer cancel()
+	res, err := plan.CertainIndexedCtx(ctx, ix, opts)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		s.evalError(w, err)
 		return
 	}
-	w.Header().Set("X-CQA-Engine", res.Engine.String())
-	writeJSON(w, http.StatusOK, certainResponse{
+	resp := certainResponse{
 		Query:   plan.Query.String(),
 		Certain: res.Certain,
 		Class:   res.Class.String(),
 		Engine:  res.Engine.String(),
 		Cached:  hit,
 		DB:      ref,
-	})
+	}
+	if res.Approximate {
+		s.metrics.degraded.Add(1)
+		frac := res.Fraction
+		resp.Approximate = true
+		resp.Fraction = &frac
+		w.Header().Set("X-CQA-Degraded", "sampling")
+	}
+	w.Header().Set("X-CQA-Engine", res.Engine.String())
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
@@ -366,7 +586,7 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	opts, ok := parseEngine(w, req.Engine)
+	opts, ok := s.evalOptions(w, req)
 	if !ok {
 		return
 	}
@@ -378,9 +598,11 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	for i, name := range req.Free {
 		free[i] = query.Var(name)
 	}
-	vals, err := plan.CertainAnswersIndexed(free, ix, opts)
+	ctx, cancel := s.evalContext(r, req.TimeoutMs)
+	defer cancel()
+	vals, err := plan.CertainAnswersIndexedCtx(ctx, free, ix, opts)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		s.evalError(w, err)
 		return
 	}
 	answers := make([]map[string]string, len(vals))

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"cqa/internal/db"
+	"cqa/internal/faultinject"
 	"cqa/internal/match"
 )
 
@@ -27,9 +28,9 @@ type Snapshot struct {
 	Relations []string
 	LoadedAt  time.Time
 
-	indexOnce sync.Once
-	index     *match.Index
-	stats     *IndexStats // shared with the owning store; nil for bare snapshots
+	indexMu sync.Mutex
+	index   atomic.Pointer[match.Index]
+	stats   *IndexStats // shared with the owning store; nil for bare snapshots
 }
 
 // Index returns the evaluation index of the snapshot — the match.Index
@@ -39,32 +40,54 @@ type Snapshot struct {
 // Snapshot and therefore a fresh index, so invalidation rides the
 // existing atomic swap. Safe for concurrent use.
 func (s *Snapshot) Index() *match.Index {
-	built := false
-	s.indexOnce.Do(func() {
-		s.index = match.NewIndex(s.DB)
-		// Warm the memoized structures now so the build cost is paid
-		// exactly once, here, rather than by whichever request happens
-		// to touch a cold structure first.
-		s.DB.Blocks()
-		s.DB.ActiveDomain()
-		built = true
-	})
-	if s.stats != nil {
-		if built {
-			s.stats.misses.Add(1)
-		} else {
+	if ix := s.index.Load(); ix != nil {
+		if s.stats != nil {
 			s.stats.hits.Add(1)
 		}
+		return ix
 	}
-	return s.index
+	// The pointer is published only on a fully successful build, under
+	// the mutex (not a sync.Once, which would mark a panicked build done
+	// and poison the snapshot forever): if the build panics, the next
+	// request simply retries it.
+	s.indexMu.Lock()
+	defer s.indexMu.Unlock()
+	if ix := s.index.Load(); ix != nil {
+		if s.stats != nil {
+			s.stats.hits.Add(1)
+		}
+		return ix
+	}
+	if s.stats != nil {
+		s.stats.building.Add(1)
+		defer s.stats.building.Add(-1)
+	}
+	// Chaos hook: a fault here simulates an index build blowing up
+	// mid-flight. It panics so the build is visibly aborted; the serving
+	// layer's recovery middleware turns the panic into a structured 500.
+	if err := faultinject.Fire("store.index.build"); err != nil {
+		panic(err)
+	}
+	ix := match.NewIndex(s.DB)
+	// Warm the memoized structures now so the build cost is paid exactly
+	// once, here, rather than by whichever request happens to touch a
+	// cold structure first.
+	s.DB.Blocks()
+	s.DB.ActiveDomain()
+	s.index.Store(ix)
+	if s.stats != nil {
+		s.stats.misses.Add(1)
+	}
+	return ix
 }
 
 // IndexStats counts snapshot-index cache outcomes across a store: a
 // miss is a request that had to build the index (first touch of a
 // snapshot version), a hit is a request that reused it.
 type IndexStats struct {
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	building atomic.Int64
 }
 
 // Hits returns the number of index-cache hits.
@@ -72,6 +95,11 @@ func (s *IndexStats) Hits() uint64 { return s.hits.Load() }
 
 // Misses returns the number of index-cache misses (index builds).
 func (s *IndexStats) Misses() uint64 { return s.misses.Load() }
+
+// Building returns the number of snapshot-index builds currently in
+// flight. The readiness probe reports not-ready while it is non-zero,
+// steering load balancers away during the expensive cold-start window.
+func (s *IndexStats) Building() int64 { return s.building.Load() }
 
 // Store is a registry of named database snapshots. The zero value is
 // not ready; use New. All methods are safe for concurrent use.
