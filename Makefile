@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check chaos bench bench-smoke fuzz vet fmt experiments clean
+.PHONY: all build test test-short race check chaos bench bench-smoke fuzz fuzz-smoke cover vet fmt experiments clean
 
 all: build test
 
@@ -21,12 +21,14 @@ race:
 # Tier-1 gate: build + full tests, vet (plus staticcheck when it is on
 # PATH — it is not vendored, so its absence only prints a notice),
 # race-enabled tests for the concurrent packages (server, plan cache,
-# db store, core worker pool, db index), and a one-iteration smoke run
-# of the evaluation benchmarks.
-check: build test bench-smoke
+# db store, core worker pool, db index, trace ring), the seeded
+# differential fuzz corpus, the coverage floors, and a one-iteration
+# smoke run of the evaluation benchmarks plus the BENCH_eval.json
+# freshness gate.
+check: build test bench-smoke fuzz-smoke cover
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
-	$(GO) test -race ./internal/server ./internal/plancache ./internal/store ./internal/core ./internal/db ./internal/rewrite
+	$(GO) test -race ./internal/server ./internal/plancache ./internal/store ./internal/core ./internal/db ./internal/rewrite ./internal/trace
 
 # Chaos gate: the fault-injection, cancellation, deadline, budget,
 # shedding, and goroutine-leak suites under the race detector. This is
@@ -40,22 +42,49 @@ chaos:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# One iteration of the E-index evaluation benchmarks: verifies the
+# One iteration of the E-index evaluation benchmarks (verifies the
 # compiled-plan and worker-pool paths still run end to end without
-# paying for a full timed sweep.
+# paying for a full timed sweep), then the BENCH_eval.json freshness
+# gate: regenerate a quick report and validate both it and the
+# checked-in artifact against the current harness shape.
 bench-smoke:
 	$(GO) test -run='^$$' -bench='CertainAcyclic|CertainAnswersPool' -benchtime=1x .
+	$(GO) run ./cmd/cqa-bench -quick -evaljson /tmp/cqa_eval_smoke.json
+	$(GO) run ./cmd/cqa-bench -quick -evalcheck /tmp/cqa_eval_smoke.json
+	$(GO) run ./cmd/cqa-bench -evalcheck BENCH_eval.json
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/query/
 	$(GO) test -fuzz=FuzzParseFact -fuzztime=30s ./internal/db/
+	$(GO) test -fuzz=FuzzDifferential -fuzztime=30s ./internal/difftest/
+
+# Deterministic slice of the fuzz suite: the seeded differential corpus
+# (>= 500 generated instances on which every applicable engine must
+# agree with the brute-force oracle) plus a replay of the checked-in
+# FuzzDifferential seed corpus. No live fuzzing — this is the `check`
+# gate; use `make fuzz` for a real exploration burst.
+fuzz-smoke:
+	$(GO) test -run 'TestDifferentialSeeded|FuzzDifferential' ./internal/difftest/
 
 vet:
 	$(GO) vet ./...
 	gofmt -l .
 
+# Coverage with per-package floors on the packages this repo's
+# correctness leans on hardest: the trace layer (observability must not
+# rot — it is how regressions get diagnosed), the FO rewriting engine,
+# and the coNP solver. Floors are a few points under current coverage
+# so they catch deleted tests, not noise.
 cover:
-	$(GO) test -cover ./internal/...
+	$(GO) test -cover ./internal/... | tee cover.out
+	@status=0; for spec in trace:90 rewrite:70 conp:75; do \
+		pkg=$${spec%%:*}; floor=$${spec##*:}; \
+		pct=$$(awk -v p="cqa/internal/$$pkg" '$$2 == p { for (i=1;i<=NF;i++) if ($$i ~ /%$$/) { sub(/%/,"",$$i); print $$i; exit } }' cover.out); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage reported for internal/$$pkg"; status=1; \
+		elif awk -v a="$$pct" -v b="$$floor" 'BEGIN{exit !(a<b)}'; then \
+			echo "cover: internal/$$pkg at $$pct% is BELOW the $$floor% floor"; status=1; \
+		else echo "cover: internal/$$pkg $$pct% (floor $$floor%)"; fi; \
+	done; rm -f cover.out; exit $$status
 
 experiments:
 	$(GO) run ./cmd/cqa-bench -exp all

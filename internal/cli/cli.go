@@ -11,7 +11,9 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"cqa/internal/attack"
 	"cqa/internal/baseline"
@@ -25,6 +27,7 @@ import (
 	"cqa/internal/ptime"
 	"cqa/internal/query"
 	"cqa/internal/rewrite"
+	"cqa/internal/trace"
 )
 
 // RunClassify implements cqa-classify.
@@ -110,6 +113,32 @@ func RunClassify(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// printStages renders a tracer's stage breakdown (durations plus the
+// per-stage counters the engines flush). No-op on a nil tracer, so the
+// call sites need no -stages guard.
+func printStages(stdout io.Writer, tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	stats := tr.Breakdown()
+	if len(stats) == 0 {
+		return
+	}
+	fmt.Fprintf(stdout, "stages (total %s):\n", tr.Elapsed().Round(time.Microsecond))
+	for _, st := range stats {
+		line := fmt.Sprintf("  %-12s %4d span(s) %10dus", st.Stage, st.Spans, st.Micros)
+		keys := make([]string, 0, len(st.Counters))
+		for k := range st.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			line += fmt.Sprintf("  %s=%d", k, st.Counters[k])
+		}
+		fmt.Fprintln(stdout, line)
+	}
+}
+
 // RunCertain implements cqa-certain. stdin supplies the database when
 // the -db argument is "-".
 func RunCertain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -124,6 +153,7 @@ func RunCertain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	count := fs.Bool("count", false, "also report the exact number of satisfying repairs")
 	fraction := fs.Int("fraction", 0, "estimate the satisfying-repair fraction with N samples")
 	showTrace := fs.Bool("trace", false, "print the Theorem 4 pipeline trace (ptime engine)")
+	showStages := fs.Bool("stages", false, "print the per-stage duration/counter breakdown after evaluation")
 	timeout := fs.Duration("timeout", 0, "wall-clock evaluation deadline (0 = none)")
 	maxSteps := fs.Int64("max-steps", 0, "engine step budget (0 = unlimited)")
 	approx := fs.Bool("approx", false, "degrade a budget-exhausted coNP evaluation to repair sampling")
@@ -164,6 +194,9 @@ func RunCertain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 	opts := core.Options{Engine: engine, MaxSteps: *maxSteps, Approximate: *approx}
+	if *showStages {
+		opts.Tracer = trace.New()
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -188,6 +221,7 @@ func RunCertain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, v)
 		}
 		fmt.Fprintf(stderr, "%d certain answer(s)\n", len(vals))
+		printStages(stdout, opts.Tracer)
 		return 0
 	}
 
@@ -226,6 +260,7 @@ func RunCertain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if res.Approximate {
 		fmt.Fprintf(stdout, "approximate: true (sampled satisfying fraction %.4f)\n", res.Fraction)
 	}
+	printStages(stdout, opts.Tracer)
 	if *possible {
 		fmt.Fprintf(stdout, "possible: %v\n", core.Possible(q, d))
 	}
@@ -322,13 +357,22 @@ func RunRewrite(args []string, stdout, stderr io.Writer) int {
 func RunBench(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cqa-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment id (E1..E12) or 'all'")
+	exp := fs.String("exp", "all", "experiment id (E1..E17) or 'all'")
 	quick := fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	list := fs.Bool("list", false, "list experiments and exit")
 	seed := fs.Int64("seed", 1, "random seed")
 	evalJSON := fs.String("evaljson", "", "run the E-index evaluation benchmarks and write the JSON report to this path")
+	evalCheck := fs.String("evalcheck", "", "validate an E-index evaluation JSON report against the current harness and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *evalCheck != "" {
+		if err := experiments.ValidateEvalJSON(*evalCheck, *quick); err != nil {
+			fmt.Fprintln(stderr, "cqa-bench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s: evaluation report matches the current harness\n", *evalCheck)
+		return 0
 	}
 	if *list {
 		for _, id := range experiments.IDs() {

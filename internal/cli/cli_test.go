@@ -88,6 +88,43 @@ func TestCertainFileAndStdin(t *testing.T) {
 	}
 }
 
+func TestCertainStagesFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	stdin := strings.NewReader("R(a | b)\nS(b | c)\n")
+	code := RunCertain([]string{"-q", "R(x | y), S(y | z)", "-db", "-", "-stages"}, stdin, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "stages (total") || !strings.Contains(got, "eliminator") {
+		t.Errorf("missing stage breakdown:\n%s", got)
+	}
+
+	// A coNP query surfaces the purify/match/conp stages. (This instance
+	// is falsifiable — repair {R(a|b), S(d|c)} kills the join — so the
+	// not-certain exit code 1 is expected.)
+	out.Reset()
+	stdin = strings.NewReader("R(a | b)\nR(a | c)\nS(d | b)\nS(d | c)\n")
+	code = RunCertain([]string{"-q", "R(x | y), S(u | y)", "-db", "-", "-stages"}, stdin, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	got = out.String()
+	for _, stage := range []string{"purify", "conp"} {
+		if !strings.Contains(got, stage) {
+			t.Errorf("coNP breakdown missing %q:\n%s", stage, got)
+		}
+	}
+
+	// Without the flag: no breakdown.
+	out.Reset()
+	stdin = strings.NewReader("R(a | b)\nS(b | c)\n")
+	RunCertain([]string{"-q", "R(x | y), S(y | z)", "-db", "-"}, stdin, &out, &errb)
+	if strings.Contains(out.String(), "stages (total") {
+		t.Errorf("breakdown printed without -stages:\n%s", out.String())
+	}
+}
+
 func TestCertainAnswersFlag(t *testing.T) {
 	var out, errb bytes.Buffer
 	stdin := strings.NewReader(`

@@ -38,6 +38,9 @@ func RunServe(args []string, stdout, stderr io.Writer) int {
 	maxTimeout := fs.Duration("max-timeout", 0, "cap on client-requested timeout_ms overrides (0 = server default)")
 	maxSteps := fs.Int64("max-steps", 0, "default per-request engine step budget (0 = server default, <0 = unlimited)")
 	memoCap := fs.Int("memo-cap", 0, "per-request memoization entry cap (0 = server default, <0 = unlimited)")
+	debugAddr := fs.String("debug-addr", "", "listen address for the debug surface (pprof + slowlog); empty disables it")
+	slowLogSize := fs.Int("slowlog", 0, "slow-query log capacity (0 = server default)")
+	slowThreshold := fs.Duration("slow-threshold", 0, "latency above which a request enters the slow-query log (0 = server default, <0 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -49,13 +52,15 @@ func RunServe(args []string, stdout, stderr io.Writer) int {
 		*workers = 2 * runtime.GOMAXPROCS(0)
 	}
 	srv := server.New(server.Config{
-		CacheSize:   *cacheSize,
-		MaxWorkers:  *workers,
-		Logger:      logger,
-		EvalTimeout: *timeout,
-		MaxTimeout:  *maxTimeout,
-		MaxSteps:    *maxSteps,
-		MemoCap:     *memoCap,
+		CacheSize:        *cacheSize,
+		MaxWorkers:       *workers,
+		Logger:           logger,
+		EvalTimeout:      *timeout,
+		MaxTimeout:       *maxTimeout,
+		MaxSteps:         *maxSteps,
+		MemoCap:          *memoCap,
+		SlowLogSize:      *slowLogSize,
+		SlowLogThreshold: *slowThreshold,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -65,6 +70,19 @@ func RunServe(args []string, stdout, stderr io.Writer) int {
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(stdout, "cqa-serve listening on %s (cache %d plans, workers %d)\n",
 		*addr, *cacheSize, *workers)
+	// The debug surface (pprof, slowlog) binds its own listener so the
+	// profiling endpoints never ride the public address. It serves until
+	// the process exits; no graceful drain is needed for it.
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: srv.DebugHandler()}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(stderr, "cqa-serve: debug listener:", err)
+			}
+		}()
+		defer dbg.Close()
+		fmt.Fprintf(stdout, "cqa-serve debug surface (pprof, slowlog) on %s\n", *debugAddr)
+	}
 
 	select {
 	case err := <-errc:
@@ -95,6 +113,16 @@ type loadJob struct {
 	name     string
 	endpoint string // "certain" or "classify"
 	body     []byte
+	// traced opts this request into X-CQA-Trace stage tracing; the
+	// returned breakdown is aggregated into the summary.
+	traced bool
+}
+
+// stageMicros is one aggregated stage row decoded from a traced response.
+type stageMicros struct {
+	stage string
+	spans int64
+	us    int64
 }
 
 // loadResult is one completed request (including any retries).
@@ -104,6 +132,8 @@ type loadResult struct {
 	err      bool
 	retries  int  // attempts beyond the first
 	shed     bool // at least one attempt was refused with 429
+	// stages holds the server-side stage breakdown for traced requests.
+	stages []stageMicros
 }
 
 // RunLoad implements cqa-load: it uploads generated databases for the
@@ -120,6 +150,7 @@ func RunLoad(args []string, stdout, stderr io.Writer) int {
 	concurrency := fs.Int("concurrency", 16, "concurrent client workers")
 	seed := fs.Int64("seed", 1, "random seed for generated databases")
 	classifyFrac := fs.Float64("classify", 0.25, "fraction of requests that hit /v1/classify")
+	traceFrac := fs.Float64("trace", 0, "fraction of certain requests that opt into X-CQA-Trace stage tracing (0 = off)")
 	probe := fs.Bool("probe", false, "measure cold vs warm plan-cache latency per query and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -141,7 +172,7 @@ func RunLoad(args []string, stdout, stderr io.Writer) int {
 		return runProbe(client, base, jobs, stdout, stderr)
 	}
 
-	results := fireAtRate(client, base, jobs, *qps, *duration, *concurrency)
+	results := fireAtRate(client, base, jobs, *qps, *duration, *concurrency, *traceFrac)
 	summarize(stdout, results, *duration)
 	printServerCounters(client, base, stdout)
 	return 0
@@ -229,11 +260,25 @@ func fire(client *http.Client, base string, job loadJob) loadResult {
 	for attempt := 1; ; attempt++ {
 		retryAfter := time.Duration(0)
 		retryable := false
-		resp, err := client.Post(base+"/v1/"+job.endpoint, "application/json", bytes.NewReader(job.body))
+		req, rerr := http.NewRequest("POST", base+"/v1/"+job.endpoint, bytes.NewReader(job.body))
+		if rerr != nil {
+			res.latency = time.Since(start)
+			res.err = true
+			return res
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if job.traced {
+			req.Header.Set("X-CQA-Trace", "1")
+		}
+		resp, err := client.Do(req)
 		if err != nil {
 			retryable = true // connection reset/refused, transport timeout
 		} else {
-			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			if job.traced && resp.StatusCode == http.StatusOK {
+				res.stages = decodeStages(resp.Body)
+			} else {
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			}
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusTooManyRequests {
 				res.shed = true
@@ -265,11 +310,42 @@ func fire(client *http.Client, base string, job loadJob) loadResult {
 	}
 }
 
+// decodeStages pulls the stage breakdown out of a traced response body.
+// A response without a trace (or a decode failure) yields nil — the load
+// tool must not fail a request over its observability payload.
+func decodeStages(r io.Reader) []stageMicros {
+	var payload struct {
+		Trace *struct {
+			Stages []struct {
+				Stage string `json:"stage"`
+				Spans int64  `json:"spans"`
+				Us    int64  `json:"us"`
+			} `json:"stages"`
+		} `json:"trace"`
+	}
+	if err := json.NewDecoder(r).Decode(&payload); err != nil || payload.Trace == nil {
+		return nil
+	}
+	out := make([]stageMicros, 0, len(payload.Trace.Stages))
+	for _, st := range payload.Trace.Stages {
+		out = append(out, stageMicros{stage: st.Stage, spans: st.Spans, us: st.Us})
+	}
+	return out
+}
+
 // fireAtRate replays the jobs round-robin at the target QPS for the
-// given duration and collects per-request results.
-func fireAtRate(client *http.Client, base string, jobs []loadJob, qps int, duration time.Duration, concurrency int) []loadResult {
+// given duration and collects per-request results. When traceFrac > 0,
+// that fraction of certain requests opts into stage tracing.
+func fireAtRate(client *http.Client, base string, jobs []loadJob, qps int, duration time.Duration, concurrency int, traceFrac float64) []loadResult {
 	if qps < 1 {
 		qps = 1
+	}
+	traceEvery := 0
+	if traceFrac > 0 {
+		traceEvery = int(1 / traceFrac)
+		if traceEvery < 1 {
+			traceEvery = 1
+		}
 	}
 	interval := time.Second / time.Duration(qps)
 	pending := make(chan loadJob, concurrency)
@@ -291,15 +367,20 @@ func fireAtRate(client *http.Client, base string, jobs []loadJob, qps int, durat
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	deadline := time.After(duration)
-	i := 0
+	i, certainSent := 0, 0
 loop:
 	for {
 		select {
 		case <-deadline:
 			break loop
 		case <-ticker.C:
+			job := jobs[i%len(jobs)]
+			if traceEvery > 0 && job.endpoint == "certain" {
+				job.traced = certainSent%traceEvery == 0
+				certainSent++
+			}
 			select {
-			case pending <- jobs[i%len(jobs)]:
+			case pending <- job:
 				i++
 			default:
 				// All workers busy: the server is saturated; drop the
@@ -358,6 +439,51 @@ func summarize(stdout io.Writer, results []loadResult, elapsed time.Duration) {
 			percentile(ls, 0.90).Round(time.Microsecond),
 			percentile(ls, 0.99).Round(time.Microsecond),
 			ls[len(ls)-1].Round(time.Microsecond))
+	}
+	summarizeStages(stdout, results)
+}
+
+// summarizeStages aggregates the server-side stage breakdowns returned
+// by traced requests (the -trace flag) into one table, heaviest stage
+// first. Silent when nothing was traced.
+func summarizeStages(stdout io.Writer, results []loadResult) {
+	type agg struct {
+		spans, us int64
+	}
+	byStage := map[string]*agg{}
+	traced := 0
+	for _, r := range results {
+		if r.stages == nil {
+			continue
+		}
+		traced++
+		for _, st := range r.stages {
+			a := byStage[st.stage]
+			if a == nil {
+				a = &agg{}
+				byStage[st.stage] = a
+			}
+			a.spans += st.spans
+			a.us += st.us
+		}
+	}
+	if traced == 0 {
+		return
+	}
+	stages := make([]string, 0, len(byStage))
+	for st := range byStage {
+		stages = append(stages, st)
+	}
+	sort.Slice(stages, func(i, j int) bool { return byStage[stages[i]].us > byStage[stages[j]].us })
+	fmt.Fprintf(stdout, "\nstage breakdown from %d traced requests:\n", traced)
+	fmt.Fprintf(stdout, "%-12s %8s %12s %12s\n", "stage", "spans", "total(us)", "mean(us)")
+	for _, st := range stages {
+		a := byStage[st]
+		mean := float64(0)
+		if a.spans > 0 {
+			mean = float64(a.us) / float64(a.spans)
+		}
+		fmt.Fprintf(stdout, "%-12s %8d %12d %12.1f\n", st, a.spans, a.us, mean)
 	}
 }
 

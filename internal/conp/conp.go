@@ -17,6 +17,7 @@ import (
 	"cqa/internal/evalctx"
 	"cqa/internal/match"
 	"cqa/internal/query"
+	"cqa/internal/trace"
 )
 
 // Stats reports search effort.
@@ -82,7 +83,7 @@ func FalsifyingRepairChecked(q query.Query, d *db.DB, chk *evalctx.Checker) ([]d
 	if q.Empty() {
 		return nil, false, stats, nil // the empty query is true in every repair
 	}
-	pd, trace, err := match.PurifyTraceChecked(q, d, chk)
+	pd, ptrace, err := match.PurifyTraceChecked(q, d, chk)
 	if err != nil {
 		return nil, false, stats, err
 	}
@@ -105,24 +106,40 @@ func FalsifyingRepairChecked(q query.Query, d *db.DB, chk *evalctx.Checker) ([]d
 		s := newSearch(q, pd, matches)
 		s.chk = chk
 		stats.Blocks = len(s.blocks)
+		sp := chk.Tracer().Begin(trace.StageCoNP)
 		found = s.solve(&stats)
+		sp.End()
 		if err := chk.Err(); err != nil {
+			flushStats(chk.Tracer(), stats)
 			return nil, false, stats, err
 		}
 		if found {
 			repair = s.repair()
 		}
 	}
+	flushStats(chk.Tracer(), stats)
 	if !found {
 		return nil, false, stats, nil
 	}
 	// Complete the repair across purified-away blocks, newest removal
 	// first: each witness was irrelevant with respect to everything added
 	// so far, so it cannot close an embedding.
-	for i := len(trace) - 1; i >= 0; i-- {
-		repair = append(repair, trace[i].Witness)
+	for i := len(ptrace) - 1; i >= 0; i-- {
+		repair = append(repair, ptrace[i].Witness)
 	}
 	return repair, true, stats, nil
+}
+
+// flushStats reports the search effort to the stage tracer: DPLL
+// decisions are search nodes, failed subtrees are restarts.
+func flushStats(tr *trace.Tracer, stats Stats) {
+	if tr == nil {
+		return
+	}
+	tr.Add(trace.StageCoNP, trace.CtrNodes, int64(stats.Decisions))
+	tr.Add(trace.StageCoNP, trace.CtrRestarts, int64(stats.Backtrack))
+	tr.Add(trace.StageCoNP, trace.CtrFacts, int64(stats.Blocks))
+	tr.Add(trace.StageCoNP, trace.CtrMatches, int64(stats.Matches))
 }
 
 type search struct {

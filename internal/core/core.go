@@ -29,6 +29,7 @@ import (
 	"cqa/internal/match"
 	"cqa/internal/query"
 	"cqa/internal/rewrite"
+	"cqa/internal/trace"
 )
 
 // Class re-exports the trichotomy classes.
@@ -159,6 +160,11 @@ type Options struct {
 	// Samples is the sampling budget of the degraded path; <= 0 selects
 	// DefaultSamples.
 	Samples int
+	// Tracer, when non-nil, records a per-stage breakdown of the
+	// evaluation (durations plus engine effort counters); it rides into
+	// the engines on the evalctx.Checker. Nil disables tracing at zero
+	// per-request cost.
+	Tracer *trace.Tracer
 }
 
 // Result reports a certain-answer decision.

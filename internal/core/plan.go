@@ -16,6 +16,7 @@ import (
 	"cqa/internal/ptime"
 	"cqa/internal/query"
 	"cqa/internal/rewrite"
+	"cqa/internal/trace"
 )
 
 // Plan is a compiled certainty plan: the per-query work of the
@@ -111,7 +112,7 @@ func (p *Plan) CertainIndexed(ix *match.Index, opts Options) (Result, error) {
 // opts.Approximate is set, the decision degrades to repair sampling and
 // the Result reports Approximate=true.
 func (p *Plan) CertainIndexedCtx(ctx context.Context, ix *match.Index, opts Options) (Result, error) {
-	chk := evalctx.New(ctx, evalctx.Limits{MaxSteps: opts.MaxSteps, MemoCap: opts.MemoCap})
+	chk := evalctx.NewTraced(ctx, evalctx.Limits{MaxSteps: opts.MaxSteps, MemoCap: opts.MemoCap}, opts.Tracer)
 	return p.certainChecked(ctx, ix, opts, chk)
 }
 
@@ -171,8 +172,11 @@ func (p *Plan) degradeToSampling(ctx context.Context, ix *match.Index, opts Opti
 	}
 	// A fresh checker: the step budget is spent, but the context of the
 	// exhausted evaluation still bounds the sampling wall-clock.
-	chk := evalctx.New(ctx, evalctx.Limits{})
+	chk := evalctx.NewTraced(ctx, evalctx.Limits{}, opts.Tracer)
+	sp := opts.Tracer.Begin(trace.StageSampling)
 	frac, err := CertainFractionChecked(p.Query, ix.DB, samples, rand.New(rand.NewSource(1)), chk)
+	sp.End()
+	opts.Tracer.Add(trace.StageSampling, trace.CtrSteps, int64(samples))
 	if err != nil {
 		return Result{}, err
 	}
@@ -222,7 +226,7 @@ func (p *Plan) CertainAnswersIndexedCtx(ctx context.Context, free []query.Var, i
 			return nil, fmt.Errorf("core: free variable %s does not occur in %s", v, p.Query)
 		}
 	}
-	chk := evalctx.New(ctx, evalctx.Limits{MaxSteps: opts.MaxSteps, MemoCap: opts.MemoCap})
+	chk := evalctx.NewTraced(ctx, evalctx.Limits{MaxSteps: opts.MaxSteps, MemoCap: opts.MemoCap}, opts.Tracer)
 	if err := chk.Check(); err != nil {
 		return nil, err
 	}
@@ -234,6 +238,7 @@ func (p *Plan) CertainAnswersIndexedCtx(ctx context.Context, free []query.Var, i
 	freeSet := query.NewVarSet(free...)
 	var candidates []query.Valuation
 	seen := make(map[string]bool)
+	sp := opts.Tracer.Begin(trace.StageMatch)
 	ix.MatchChecked(p.Query, query.Valuation{}, chk, func(m query.Valuation) bool {
 		proj := m.Restrict(freeSet)
 		k := proj.Key()
@@ -243,6 +248,8 @@ func (p *Plan) CertainAnswersIndexedCtx(ctx context.Context, free []query.Var, i
 		}
 		return true
 	})
+	sp.End()
+	opts.Tracer.Add(trace.StageMatch, trace.CtrMatches, int64(len(candidates)))
 	if err := chk.Err(); err != nil {
 		return nil, err
 	}

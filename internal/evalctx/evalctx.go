@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"cqa/internal/faultinject"
+	"cqa/internal/trace"
 )
 
 // ErrBudgetExceeded is the sticky error of an evaluation that ran out
@@ -61,6 +62,7 @@ type Checker struct {
 	steps    *atomic.Int64 // total polled steps, shared across Forks
 	maxSteps int64
 	memoCap  int
+	tr       *trace.Tracer // nil unless the request opted into tracing
 	err      error
 }
 
@@ -68,10 +70,19 @@ type Checker struct {
 // there is nothing to enforce (a context that can never be cancelled
 // and no budgets) — so the unlimited path stays literally free.
 func New(ctx context.Context, lim Limits) *Checker {
+	return NewTraced(ctx, lim, nil)
+}
+
+// NewTraced is New with a stage tracer attached: the checker becomes
+// the vehicle that carries the tracer into the engines, which already
+// receive a checker everywhere. Unlike New, a non-nil tracer forces a
+// non-nil checker even with nothing to enforce — the engines read the
+// tracer off the checker they are handed.
+func NewTraced(ctx context.Context, lim Limits, tr *trace.Tracer) *Checker {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if ctx.Done() == nil && lim.MaxSteps <= 0 && lim.MemoCap <= 0 {
+	if ctx.Done() == nil && lim.MaxSteps <= 0 && lim.MemoCap <= 0 && tr == nil {
 		return nil
 	}
 	interval := int64(lim.Interval)
@@ -94,6 +105,7 @@ func New(ctx context.Context, lim Limits) *Checker {
 		steps:    new(atomic.Int64),
 		maxSteps: lim.MaxSteps,
 		memoCap:  lim.MemoCap,
+		tr:       tr,
 	}
 }
 
@@ -110,6 +122,7 @@ func (c *Checker) Fork() *Checker {
 		steps:    c.steps,
 		maxSteps: c.maxSteps,
 		memoCap:  c.memoCap,
+		tr:       c.tr,
 	}
 }
 
@@ -182,6 +195,17 @@ func (c *Checker) MemoCap() int {
 		return 0
 	}
 	return c.memoCap
+}
+
+// Tracer returns the stage tracer riding on this checker, or nil. The
+// engines call it once per entry point, never per step; a nil result
+// composes with the nil-safe trace API so uninstrumented requests pay
+// one pointer read.
+func (c *Checker) Tracer() *trace.Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.tr
 }
 
 // Steps returns the total steps accounted so far across all Forks (a

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"cqa/internal/faultinject"
+	"cqa/internal/trace"
 )
 
 func TestNilCheckerEnforcesNothing(t *testing.T) {
@@ -137,5 +138,29 @@ func BenchmarkStepNil(b *testing.B) {
 		if err := c.Step(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestNewTracedCarriesTracer(t *testing.T) {
+	tr := trace.New()
+	// A tracer alone must force a non-nil checker: it is the vehicle that
+	// carries the tracer into the engines.
+	c := NewTraced(context.Background(), Limits{}, tr)
+	if c == nil {
+		t.Fatal("NewTraced with a tracer returned nil")
+	}
+	if c.Tracer() != tr {
+		t.Fatal("Tracer() did not return the attached tracer")
+	}
+	if f := c.Fork(); f.Tracer() != tr {
+		t.Fatal("Fork dropped the tracer")
+	}
+	// Without a tracer or limits, NewTraced stays free like New.
+	if c := NewTraced(context.Background(), Limits{}, nil); c != nil {
+		t.Fatalf("NewTraced(bg, zero, nil) = %v, want nil", c)
+	}
+	var nilChk *Checker
+	if nilChk.Tracer() != nil {
+		t.Fatal("nil checker must report a nil tracer")
 	}
 }

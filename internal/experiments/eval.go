@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 
 	"cqa/internal/core"
@@ -31,6 +32,25 @@ type EvalReport struct {
 	Note     string            `json:"note"`
 	Baseline map[string]string `json:"baseline_pre_pr"`
 	Results  []EvalResult      `json:"results"`
+}
+
+// evalQueryText and evalNote are the identity of the BENCH_eval.json
+// artifact: ValidateEvalJSON compares the checked-in file against them,
+// so changing the harness without regenerating the artifact fails
+// bench-smoke instead of silently shipping stale numbers.
+const (
+	evalQueryText = "R(x | y), S(y | z)"
+	evalNote      = "certain: one CERTAINTY decision per op on a falsified chain instance (full block sweep); " +
+		"answers: certain answers of x per op. warm reuses the memoized db index across ops; " +
+		"cold drops it every op via ResetCaches."
+)
+
+// evalSizes returns the block-count sweep of the certain benchmarks.
+func evalSizes(quick bool) []int {
+	if quick {
+		return []int{1000, 10000}
+	}
+	return []int{1000, 10000, 100000}
 }
 
 // prePRBaseline records the same workloads measured immediately before
@@ -90,20 +110,15 @@ func evalChainDB(q query.Query, n int) *db.DB {
 // (caches dropped every op, so each op pays the index build). Quick
 // shrinks the size sweep.
 func RunEval(quick bool) (*EvalReport, error) {
-	q := query.MustParse("R(x | y), S(y | z)")
+	q := query.MustParse(evalQueryText)
 	plan, err := core.Compile(q)
 	if err != nil {
 		return nil, err
 	}
-	sizes := []int{1000, 10000, 100000}
-	if quick {
-		sizes = []int{1000, 10000}
-	}
+	sizes := evalSizes(quick)
 	rep := &EvalReport{
-		Query: q.String(),
-		Note: "certain: one CERTAINTY decision per op on a falsified chain instance (full block sweep); " +
-			"answers: certain answers of x per op. warm reuses the memoized db index across ops; " +
-			"cold drops it every op via ResetCaches.",
+		Query:    q.String(),
+		Note:     evalNote,
 		Baseline: prePRBaseline,
 	}
 	record := func(name string, blocks int, index string, workers int, r testing.BenchmarkResult) {
@@ -170,6 +185,68 @@ func RunEval(quick bool) (*EvalReport, error) {
 		record("answers", ad.NumBlocks(), "warm", w, r)
 	}
 	return rep, nil
+}
+
+// ValidateEvalJSON reads an E-index evaluation report and checks it
+// against the current harness: the same query and note, the pre-PR
+// baseline intact, one result for every configuration the sweep
+// measures (quick reports the quick sweep), and sane measurements in
+// each. This is the bench-smoke freshness gate — a harness change that
+// is not followed by `cqa-bench -evaljson` regeneration fails here.
+func ValidateEvalJSON(path string, quick bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep EvalReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if want := query.MustParse(evalQueryText).String(); rep.Query != want {
+		return fmt.Errorf("%s: query %q differs from the harness query %q (regenerate with -evaljson)", path, rep.Query, want)
+	}
+	if rep.Note != evalNote {
+		return fmt.Errorf("%s: note differs from the harness note (regenerate with -evaljson)", path)
+	}
+	for k := range prePRBaseline {
+		if rep.Baseline[k] == "" {
+			return fmt.Errorf("%s: baseline_pre_pr is missing %q", path, k)
+		}
+	}
+	missing := map[string]bool{}
+	for _, blocks := range evalSizes(quick) {
+		for _, index := range []string{"warm", "cold"} {
+			missing[fmt.Sprintf("certain/%d/%s", blocks, index)] = true
+		}
+	}
+	answersSeq, answersPool := false, false
+	for i, res := range rep.Results {
+		if res.NsPerOp <= 0 || res.Iterations <= 0 {
+			return fmt.Errorf("%s: results[%d] (%s/%d/%s) has no measurement", path, i, res.Name, res.Blocks, res.Index)
+		}
+		switch res.Name {
+		case "certain":
+			delete(missing, fmt.Sprintf("certain/%d/%s", res.Blocks, res.Index))
+		case "answers":
+			if res.Workers == 1 {
+				answersSeq = true
+			} else if res.Workers >= 2 {
+				answersPool = true
+			}
+		}
+	}
+	if len(missing) > 0 {
+		keys := make([]string, 0, len(missing))
+		for k := range missing {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return fmt.Errorf("%s: missing configurations %v (regenerate with -evaljson)", path, keys)
+	}
+	if !answersSeq || !answersPool {
+		return fmt.Errorf("%s: answers results must cover workers=1 and the pool (have seq=%v pool=%v)", path, answersSeq, answersPool)
+	}
+	return nil
 }
 
 // WriteEvalJSON runs the E-index evaluation benchmarks and writes the

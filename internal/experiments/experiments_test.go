@@ -16,9 +16,13 @@ func TestAllExperimentsQuick(t *testing.T) {
 	}
 	out := buf.String()
 	for _, frag := range []string{
-		"### E1", "### E12", "### E13", "### E14", "### E15", "### E16",
+		"### E1", "### E12", "### E13", "### E14", "### E15", "### E16", "### E17",
 		"cancellation latency",                   // E16 latency table
 		"context-check overhead",                 // E16 overhead table
+		"per-engine stage breakdown",             // E17 stage table
+		"tracing overhead",                       // E17 overhead table
+		"eliminator",                             // E17 FO stage row
+		"dissolutions",                           // E17 ptime counter
 		"R^{+,q}",                                // E1 prints the closure
 		"Markov graph (Figure 2, right)",         // E2
 		"trichotomy over the literature catalog", // E3
@@ -56,8 +60,8 @@ func TestUnknownExperiment(t *testing.T) {
 
 func TestIDsAndDescribe(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 {
-		t.Fatalf("have %d experiments, want 16: %v", len(ids), ids)
+	if len(ids) != 17 {
+		t.Fatalf("have %d experiments, want 17: %v", len(ids), ids)
 	}
 	for _, id := range ids {
 		if Describe(id) == "" {

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cqa/internal/catalog"
+	"cqa/internal/rewrite"
+)
+
+// -update rewrites the golden files from current output instead of
+// comparing against them: go test ./internal/experiments -run Golden -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// checkGolden compares got against testdata/golden/<name>.golden
+// byte-for-byte (or rewrites the file under -update). The golden files
+// pin the paper-facing renderings — Figure 1, Figure 2, the Example 5
+// rewriting — so an accidental change to graph or formula formatting
+// shows up as a diff, not as silently drifting docs.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (re-run with -update if the change is intended)\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestGoldenFigure1 pins the Example 2 / Figure 1 rendering: the attack
+// graph of the paper's running PTime query, its R^{+,q} closure, strong
+// components, classification, and DOT export (experiment E1).
+func TestGoldenFigure1(t *testing.T) {
+	var buf bytes.Buffer
+	r := &Runner{Out: &buf, Quick: true, Seed: 1}
+	if err := r.Run("E1"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure1", buf.Bytes())
+}
+
+// TestGoldenFigure2 pins the Example 7 / Figure 2 rendering: the attack
+// graph next to the Markov graph, the premier Markov cycle, and the
+// classification (experiment E2).
+func TestGoldenFigure2(t *testing.T) {
+	var buf bytes.Buffer
+	r := &Runner{Out: &buf, Quick: true, Seed: 1}
+	if err := r.Run("E2"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure2", buf.Bytes())
+}
+
+// TestGoldenExample5Rewriting pins the certain first-order rewriting of
+// KW15 Example 5 — the paper's worked FO example — as rendered by
+// rewrite.RewritingPretty.
+func TestGoldenExample5Rewriting(t *testing.T) {
+	e, ok := catalog.ByName("kw15-example5")
+	if !ok {
+		t.Fatal("catalog entry kw15-example5 missing")
+	}
+	q := e.MustQuery()
+	f, err := rewrite.RewritingPretty(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "query: %s\n\ncertain rewriting (Example 5):\n%s\n", q, rewrite.Format(f))
+	checkGolden(t, "example5-rewriting", buf.Bytes())
+}

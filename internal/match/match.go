@@ -9,6 +9,7 @@ import (
 	"cqa/internal/db"
 	"cqa/internal/evalctx"
 	"cqa/internal/query"
+	"cqa/internal/trace"
 )
 
 // Index wraps a database with the lookup structures the join needs:
@@ -250,11 +251,14 @@ func AllMatches(q query.Query, d *db.DB) []query.Valuation {
 // AllMatchesChecked is AllMatches under a cancellation/budget checker,
 // polled once per enumerated match. A nil checker enforces nothing.
 func AllMatchesChecked(q query.Query, d *db.DB, chk *evalctx.Checker) ([]query.Valuation, error) {
+	sp := chk.Tracer().Begin(trace.StageMatch)
 	var out []query.Valuation
 	NewIndex(d).MatchChecked(q, query.Valuation{}, chk, func(v query.Valuation) bool {
 		out = append(out, v.Clone())
 		return true
 	})
+	sp.End()
+	chk.Tracer().Add(trace.StageMatch, trace.CtrMatches, int64(len(out)))
 	if err := chk.Err(); err != nil {
 		return nil, err
 	}
@@ -306,8 +310,8 @@ type Removal struct {
 // irrelevant when removed, so it cannot complete an embedding against the
 // facts that remained).
 func PurifyTrace(q query.Query, d *db.DB) (*db.DB, []Removal) {
-	pd, trace, _ := PurifyTraceChecked(q, d, nil)
-	return pd, trace
+	pd, removals, _ := PurifyTraceChecked(q, d, nil)
+	return pd, removals
 }
 
 // PurifyTraceChecked is PurifyTrace under a cancellation/budget checker.
@@ -316,7 +320,10 @@ func PurifyTrace(q query.Query, d *db.DB) (*db.DB, []Removal) {
 // the latency of a cut-short evaluation; the rounds poll the checker
 // per embedding and per scanned fact. A nil checker enforces nothing.
 func PurifyTraceChecked(q query.Query, d *db.DB, chk *evalctx.Checker) (*db.DB, []Removal, error) {
-	var trace []Removal
+	tr := chk.Tracer()
+	sp := tr.Begin(trace.StagePurify)
+	defer sp.End()
+	var removals []Removal
 	cur := d.Filter(func(f db.Fact) bool {
 		if q.HasRel(f.Rel.Name) {
 			return true
@@ -329,10 +336,11 @@ func PurifyTraceChecked(q query.Query, d *db.DB, chk *evalctx.Checker) (*db.DB, 
 	for _, f := range d.Facts() {
 		if !q.HasRel(f.Rel.Name) && !seen[f.BlockID()] {
 			seen[f.BlockID()] = true
-			trace = append(trace, Removal{BlockID: f.BlockID(), Witness: f})
+			removals = append(removals, Removal{BlockID: f.BlockID(), Witness: f})
 		}
 	}
 	for {
+		tr.Add(trace.StagePurify, trace.CtrRounds, 1)
 		if err := chk.Check(); err != nil {
 			return nil, nil, err
 		}
@@ -358,14 +366,15 @@ func PurifyTraceChecked(q query.Query, d *db.DB, chk *evalctx.Checker) (*db.DB, 
 			}
 			if !relevant[f.ID()] {
 				dropBlocks[f.BlockID()] = true
-				trace = append(trace, Removal{BlockID: f.BlockID(), Witness: f})
+				removals = append(removals, Removal{BlockID: f.BlockID(), Witness: f})
 			}
 		}
 		if err := chk.Err(); err != nil {
 			return nil, nil, err
 		}
 		if len(dropBlocks) == 0 {
-			return cur, trace, nil
+			tr.Add(trace.StagePurify, trace.CtrFacts, int64(len(removals)))
+			return cur, removals, nil
 		}
 		cur = cur.Filter(func(f db.Fact) bool { return !dropBlocks[f.BlockID()] })
 	}

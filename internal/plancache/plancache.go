@@ -19,6 +19,7 @@ import (
 
 	"cqa/internal/core"
 	"cqa/internal/faultinject"
+	"cqa/internal/trace"
 )
 
 // DefaultCapacity is the total plan capacity used when New is given a
@@ -113,7 +114,18 @@ func (c *Cache) Put(key string, p *core.Plan) {
 // key may compile twice; compilation is pure, so the duplicate work is
 // harmless and the last insert wins.
 func (c *Cache) GetOrCompile(text string) (p *core.Plan, hit bool, err error) {
+	return c.GetOrCompileTraced(text, nil)
+}
+
+// GetOrCompileTraced is GetOrCompile with stage tracing: normalization
+// is recorded under the "normalize" stage, and a miss's compilation
+// under "compile" — a hit records no compile span, which is exactly the
+// signal that distinguishes a cold query from a warm one in a request
+// trace. A nil tracer records nothing.
+func (c *Cache) GetOrCompileTraced(text string, tr *trace.Tracer) (p *core.Plan, hit bool, err error) {
+	sp := tr.Begin(trace.StageNormalize)
 	q, key, err := core.Normalize(text)
+	sp.End()
 	if err != nil {
 		return nil, false, err
 	}
@@ -124,7 +136,9 @@ func (c *Cache) GetOrCompile(text string) (p *core.Plan, hit bool, err error) {
 	if err := faultinject.Fire("plancache.compile"); err != nil {
 		return nil, false, err
 	}
+	sp = tr.Begin(trace.StageCompile)
 	p, err = core.Compile(q)
+	sp.End()
 	if err != nil {
 		return nil, false, err
 	}

@@ -28,6 +28,7 @@ import (
 	"cqa/internal/query"
 	"cqa/internal/schema"
 	"cqa/internal/simplify"
+	"cqa/internal/trace"
 )
 
 // Stats aggregates effort counters across the recursion.
@@ -88,7 +89,15 @@ func CertainNoStrongCycle(q query.Query, d *db.DB) (bool, *Stats, error) {
 func CertainNoStrongCycleChecked(q query.Query, d *db.DB, chk *evalctx.Checker) (bool, *Stats, error) {
 	st := &Stats{}
 	ctx := &solver{stats: st, chk: chk, memoCap: chk.MemoCap()}
+	sp := chk.Tracer().Begin(trace.StagePTime)
 	ok, err := ctx.solve(q, d, 0)
+	sp.End()
+	if tr := chk.Tracer(); tr != nil {
+		tr.Add(trace.StagePTime, trace.CtrSteps, int64(st.Levels))
+		tr.Add(trace.StagePTime, trace.CtrBranches, int64(st.Branches))
+		tr.Add(trace.StagePTime, trace.CtrDissolutions, int64(st.Dissolutions))
+		tr.Add(trace.StagePTime, trace.CtrFacts, int64(st.TFacts))
+	}
 	return ok, st, err
 }
 

@@ -10,6 +10,7 @@ import (
 	"cqa/internal/evalctx"
 	"cqa/internal/match"
 	"cqa/internal/query"
+	"cqa/internal/trace"
 )
 
 // Eliminator is the compiled form of the Lemma 10 recursion for a query
@@ -125,7 +126,14 @@ func (e *Eliminator) CertainChecked(ix *match.Index, initial query.Valuation, ch
 	for v, c := range initial {
 		val[v] = c
 	}
+	sp := chk.Tracer().Begin(trace.StageEliminator)
 	res := ev.run(0, val)
+	sp.End()
+	if tr := chk.Tracer(); tr != nil {
+		tr.Add(trace.StageEliminator, trace.CtrSteps, ev.trSteps)
+		tr.Add(trace.StageEliminator, trace.CtrMemoHits, ev.trHits)
+		tr.Add(trace.StageEliminator, trace.CtrMemoMisses, ev.trMisses)
+	}
 	if err := chk.Err(); err != nil {
 		return false, err
 	}
@@ -143,19 +151,25 @@ type elimEval struct {
 	memo    map[string]bool
 	chk     *evalctx.Checker
 	memoCap int // memo-entry ceiling (0 = unlimited)
+	// Effort counters for the stage tracer, kept as plain ints on the
+	// single-goroutine walk and flushed once at the end.
+	trSteps, trHits, trMisses int64
 }
 
 func (ev *elimEval) run(level int, val query.Valuation) bool {
 	if ev.chk.Step() != nil {
 		return false
 	}
+	ev.trSteps++
 	if level == len(ev.e.order) {
 		return true
 	}
 	key := ev.memoKey(level, val)
 	if v, ok := ev.memo[key]; ok {
+		ev.trHits++
 		return v
 	}
+	ev.trMisses++
 	res := ev.eval(level, val)
 	// Never memoize under a tripped checker (the result is a truncated
 	// evaluation, not the real answer) or past the memo budget (bounded

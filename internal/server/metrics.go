@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cqa/internal/trace"
 )
 
 // metrics holds per-endpoint request and error counters plus the
@@ -29,12 +31,23 @@ type metrics struct {
 	panics atomic.Uint64
 	// degraded counts coNP evaluations that fell back to sampling.
 	degraded atomic.Uint64
+	// byClass holds one evaluation-latency histogram per complexity
+	// class (fo / ptime / conp — the trichotomy makes the class the
+	// dominant latency predictor, so it is the one label worth a
+	// histogram each). Keys are fixed at construction; Observe is
+	// lock-free.
+	byClass map[string]*trace.Histogram
 }
 
 func newMetrics() *metrics {
 	return &metrics{
 		requests: make(map[string]*atomic.Uint64),
 		errors:   make(map[string]*atomic.Uint64),
+		byClass: map[string]*trace.Histogram{
+			"fo":    trace.NewHistogram(nil),
+			"ptime": trace.NewHistogram(nil),
+			"conp":  trace.NewHistogram(nil),
+		},
 	}
 }
 
@@ -137,6 +150,12 @@ func (s *Server) instrument(label string, limited bool, h http.HandlerFunc) http
 	})
 }
 
+// formatBound renders a bucket bound the way Prometheus clients do:
+// shortest decimal representation, no exponent for these magnitudes.
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", b), "0"), ".")
+}
+
 // handleMetrics renders the counters in the text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
@@ -167,6 +186,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.metrics.mu.Unlock()
+
+	for _, class := range []string{"fo", "ptime", "conp"} {
+		h := s.metrics.byClass[class]
+		snap := h.Snapshot()
+		for i, bound := range snap.Bounds {
+			fmt.Fprintf(&b, "cqa_eval_duration_seconds_bucket{class=%q,le=%q} %d\n",
+				class, formatBound(bound), snap.Cumulative[i])
+		}
+		fmt.Fprintf(&b, "cqa_eval_duration_seconds_bucket{class=%q,le=\"+Inf\"} %d\n", class, snap.Inf)
+		fmt.Fprintf(&b, "cqa_eval_duration_seconds_sum{class=%q} %g\n", class, snap.SumSeconds)
+		fmt.Fprintf(&b, "cqa_eval_duration_seconds_count{class=%q} %d\n", class, snap.Count)
+	}
+	fmt.Fprintf(&b, "cqa_slowlog_entries_total %d\n", s.slowlog.count())
 
 	st := s.cache.Stats()
 	fmt.Fprintf(&b, "cqa_plancache_hits_total %d\n", st.Hits)

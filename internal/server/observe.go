@@ -1,0 +1,180 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"cqa/internal/core"
+	"cqa/internal/trace"
+)
+
+// Observability defaults; see Config for the overrides.
+const (
+	// DefaultSlowLogSize bounds the in-memory slow-query log.
+	DefaultSlowLogSize = 64
+	// DefaultSlowLogThreshold is the evaluation latency above which a
+	// request enters the slow-query log.
+	DefaultSlowLogThreshold = 100 * time.Millisecond
+)
+
+// traceRequested reports whether the request opted into stage tracing
+// via the X-CQA-Trace header (any value except "0"/"false" enables).
+func traceRequested(r *http.Request) bool {
+	switch v := r.Header.Get("X-CQA-Trace"); v {
+	case "", "0", "false":
+		return false
+	default:
+		return true
+	}
+}
+
+// traceInfo is the stage breakdown attached to a traced response.
+type traceInfo struct {
+	// TotalUs is the wall-clock of the whole evaluation (resolve +
+	// engine), of which the stages account the instrumented parts.
+	TotalUs int64              `json:"totalUs"`
+	Stages  []trace.StageStats `json:"stages"`
+}
+
+func traceJSON(tr *trace.Tracer, total time.Duration) *traceInfo {
+	if tr == nil {
+		return nil
+	}
+	return &traceInfo{
+		TotalUs: int64(total / time.Microsecond),
+		Stages:  tr.Breakdown(),
+	}
+}
+
+// classLabel maps a complexity class to its metric label. The labels
+// double as the histogram keys of metrics.byClass, so they are fixed
+// (unlike Class.String(), whose "P\FO" would need escaping in the
+// exposition format).
+func classLabel(c core.Class) string {
+	switch c {
+	case core.FO:
+		return "fo"
+	case core.PTime:
+		return "ptime"
+	default:
+		return "conp"
+	}
+}
+
+// observeEval records one evaluation latency into the per-class
+// histogram and, when it crossed the slow threshold, the slow-query
+// log.
+func (s *Server) observeEval(e slowEntry) {
+	if h := s.metrics.byClass[e.Class]; h != nil {
+		h.Observe(e.dur)
+	}
+	s.slowlog.record(e)
+}
+
+// --- slow-query log ---
+
+// slowEntry is one slow-query-log record, shaped for /debug/slowlog.
+type slowEntry struct {
+	Time     string `json:"time"`
+	Endpoint string `json:"endpoint"`
+	Query    string `json:"query"`
+	DB       string `json:"db,omitempty"`
+	Class    string `json:"class"`
+	Engine   string `json:"engine,omitempty"`
+	// Error is the evaluation error, if any — timeouts and exhausted
+	// budgets are exactly the requests a slow-query log exists for.
+	Error  string `json:"error,omitempty"`
+	Micros int64  `json:"us"`
+	// Trace is the stage breakdown when the request opted into tracing.
+	Trace []trace.StageStats `json:"trace,omitempty"`
+
+	dur time.Duration
+}
+
+// slowLog is a bounded ring of the most recent slow evaluations. A
+// threshold <= 0 disables recording; eviction is ring overwrite — no
+// goroutines, no timers — so the log can never leak.
+type slowLog struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	ring      []slowEntry
+	next      int
+	total     uint64
+}
+
+func newSlowLog(size int, threshold time.Duration) *slowLog {
+	if size <= 0 {
+		size = DefaultSlowLogSize
+	}
+	return &slowLog{threshold: threshold, ring: make([]slowEntry, 0, size)}
+}
+
+func (l *slowLog) record(e slowEntry) {
+	if l.threshold <= 0 || e.dur < l.threshold {
+		return
+	}
+	e.Micros = int64(e.dur / time.Microsecond)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+		l.next = len(l.ring) % cap(l.ring)
+		return
+	}
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % cap(l.ring)
+}
+
+// snapshot returns the retained entries, newest first.
+func (l *slowLog) snapshot() []slowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]slowEntry, 0, len(l.ring))
+	for i := 0; i < len(l.ring); i++ {
+		// Walk backwards from the slot before next (the newest).
+		idx := (l.next - 1 - i + 2*len(l.ring)) % len(l.ring)
+		out = append(out, l.ring[idx])
+	}
+	return out
+}
+
+func (l *slowLog) count() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+type slowlogResponse struct {
+	// ThresholdMs is the latency floor for entry; Total counts every
+	// slow evaluation since start (the ring retains only the newest).
+	ThresholdMs int64       `json:"thresholdMs"`
+	Total       uint64      `json:"total"`
+	Entries     []slowEntry `json:"entries"`
+}
+
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, slowlogResponse{
+		ThresholdMs: int64(s.slowlog.threshold / time.Millisecond),
+		Total:       s.slowlog.count(),
+		Entries:     s.slowlog.snapshot(),
+	})
+}
+
+// DebugHandler returns the debug-only surface: the net/http/pprof
+// endpoints plus the slow-query log. It is intentionally not part of
+// Handler — profiling endpoints expose internals and can run the
+// process hot, so cmd/cqa-serve mounts this only on the loopback-bound
+// -debug-addr listener.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
+	return mux
+}

@@ -40,6 +40,7 @@ import (
 	"cqa/internal/query"
 	"cqa/internal/rewrite"
 	"cqa/internal/store"
+	"cqa/internal/trace"
 )
 
 // maxBodyBytes bounds request bodies (queries and fact uploads).
@@ -88,6 +89,13 @@ type Config struct {
 	// MemoCap is the default per-query memo budget; 0 selects
 	// DefaultMemoCap, negative disables it.
 	MemoCap int
+	// SlowLogSize bounds the in-memory slow-query log; <= 0 selects
+	// DefaultSlowLogSize.
+	SlowLogSize int
+	// SlowLogThreshold is the evaluation latency above which a request
+	// is retained in the slow-query log; 0 selects
+	// DefaultSlowLogThreshold, negative disables the log.
+	SlowLogThreshold time.Duration
 }
 
 // Server carries the shared serving state. Create with New; the
@@ -103,6 +111,7 @@ type Server struct {
 	maxTimeout  time.Duration
 	maxSteps    int64
 	memoCap     int
+	slowlog     *slowLog
 	// draining is flipped by graceful shutdown before the listener
 	// stops accepting: readiness goes false first, so load balancers
 	// stop routing while in-flight requests finish.
@@ -141,6 +150,10 @@ func New(cfg Config) *Server {
 	case memoCap < 0:
 		memoCap = 0
 	}
+	slowThreshold := cfg.SlowLogThreshold
+	if slowThreshold == 0 {
+		slowThreshold = DefaultSlowLogThreshold
+	}
 	return &Server{
 		cache:       plancache.New(cfg.CacheSize),
 		store:       store.New(),
@@ -152,6 +165,7 @@ func New(cfg Config) *Server {
 		maxTimeout:  maxTimeout,
 		maxSteps:    maxSteps,
 		memoCap:     memoCap,
+		slowlog:     newSlowLog(cfg.SlowLogSize, slowThreshold),
 	}
 }
 
@@ -183,6 +197,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/db/{name}", s.instrument("db-get", false, s.handleDBGet))
 	mux.Handle("DELETE /v1/db/{name}", s.instrument("db-delete", false, s.handleDBDelete))
 	mux.Handle("GET /v1/db", s.instrument("db-list", false, s.handleDBList))
+	mux.Handle("GET /debug/slowlog", s.instrument("slowlog", false, s.handleSlowlog))
 	return mux
 }
 
@@ -247,6 +262,9 @@ type certainResponse struct {
 	// fraction.
 	Approximate bool     `json:"approximate,omitempty"`
 	Fraction    *float64 `json:"fraction,omitempty"`
+	// Trace is the per-stage breakdown; present only when the request
+	// carried an X-CQA-Trace header.
+	Trace *traceInfo `json:"trace,omitempty"`
 }
 
 type answersResponse struct {
@@ -257,6 +275,9 @@ type answersResponse struct {
 	Class   string              `json:"class"`
 	Cached  bool                `json:"cached"`
 	DB      *dbRef              `json:"db,omitempty"`
+	// Trace is the per-stage breakdown; present only when the request
+	// carried an X-CQA-Trace header.
+	Trace *traceInfo `json:"trace,omitempty"`
 }
 
 type rewriteRequest struct {
@@ -386,11 +407,18 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 // translating errors to a 400. It records cache status in the response
 // headers so the logging middleware can report it.
 func (s *Server) compile(w http.ResponseWriter, text string) (*core.Plan, bool, bool) {
+	return s.compileTraced(w, text, nil)
+}
+
+// compileTraced is compile with the request's stage tracer (nil when
+// the request did not opt in): normalization and a miss's compilation
+// show up as stages in the response breakdown.
+func (s *Server) compileTraced(w http.ResponseWriter, text string, tr *trace.Tracer) (*core.Plan, bool, bool) {
 	if text == "" {
 		httpError(w, http.StatusBadRequest, "missing \"query\"")
 		return nil, false, false
 	}
-	plan, hit, err := s.cache.GetOrCompile(text)
+	plan, hit, err := s.cache.GetOrCompileTraced(text, tr)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return nil, false, false
@@ -408,7 +436,7 @@ func (s *Server) compile(w http.ResponseWriter, text string) (*core.Plan, bool, 
 // snapshot — built once per snapshot version and reused across requests
 // — and for inline facts a fresh index over the parsed database.
 // Exactly one of "db" and "facts" must be set.
-func (s *Server) resolveDB(w http.ResponseWriter, req certainRequest, plan *core.Plan) (*match.Index, *dbRef, bool) {
+func (s *Server) resolveDB(w http.ResponseWriter, req certainRequest, plan *core.Plan, tr *trace.Tracer) (*match.Index, *dbRef, bool) {
 	switch {
 	case req.DB != "" && req.Facts != "":
 		httpError(w, http.StatusBadRequest, "set either \"db\" or \"facts\", not both")
@@ -423,7 +451,7 @@ func (s *Server) resolveDB(w http.ResponseWriter, req certainRequest, plan *core
 			httpError(w, http.StatusBadRequest, "database %q: %v", req.DB, err)
 			return nil, nil, false
 		}
-		return snap.Index(), &dbRef{Name: snap.Name, Version: snap.Version}, true
+		return snap.IndexTraced(tr), &dbRef{Name: snap.Name, Version: snap.Version}, true
 	case req.Facts != "":
 		d, err := db.ParseFacts(plan.Query.Schema(), req.Facts)
 		if err != nil {
@@ -535,7 +563,15 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	plan, hit, ok := s.compile(w, req.Query)
+	var tr *trace.Tracer
+	if traceRequested(r) {
+		tr = trace.New()
+	}
+	// start covers the whole evaluation pipeline — normalize/compile,
+	// snapshot index resolution, engine — matching what the stage
+	// breakdown decomposes and what the slow log should charge.
+	start := time.Now()
+	plan, hit, ok := s.compileTraced(w, req.Query, tr)
 	if !ok {
 		return
 	}
@@ -543,17 +579,36 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	ix, ref, ok := s.resolveDB(w, req, plan)
+	opts.Tracer = tr
+	ix, ref, ok := s.resolveDB(w, req, plan, tr)
 	if !ok {
 		return
 	}
 	ctx, cancel := s.evalContext(r, req.TimeoutMs)
 	defer cancel()
 	res, err := plan.CertainIndexedCtx(ctx, ix, opts)
+	elapsed := time.Since(start)
+	entry := slowEntry{
+		Time:     start.UTC().Format(time.RFC3339Nano),
+		Endpoint: "certain",
+		Query:    plan.Query.String(),
+		Class:    classLabel(plan.Class),
+		dur:      elapsed,
+	}
+	if ref != nil {
+		entry.DB = ref.Name
+	}
+	if tr != nil {
+		entry.Trace = tr.Breakdown()
+	}
 	if err != nil {
+		entry.Error = err.Error()
+		s.observeEval(entry)
 		s.evalError(w, err)
 		return
 	}
+	entry.Engine = res.Engine.String()
+	s.observeEval(entry)
 	resp := certainResponse{
 		Query:   plan.Query.String(),
 		Certain: res.Certain,
@@ -561,6 +616,7 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 		Engine:  res.Engine.String(),
 		Cached:  hit,
 		DB:      ref,
+		Trace:   traceJSON(tr, elapsed),
 	}
 	if res.Approximate {
 		s.metrics.degraded.Add(1)
@@ -582,7 +638,13 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing \"free\": the designated free variables")
 		return
 	}
-	plan, hit, ok := s.compile(w, req.Query)
+	var tr *trace.Tracer
+	if traceRequested(r) {
+		tr = trace.New()
+	}
+	// As in handleCertain: charge compile + resolve + engine.
+	start := time.Now()
+	plan, hit, ok := s.compileTraced(w, req.Query, tr)
 	if !ok {
 		return
 	}
@@ -590,7 +652,8 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	ix, ref, ok := s.resolveDB(w, req, plan)
+	opts.Tracer = tr
+	ix, ref, ok := s.resolveDB(w, req, plan, tr)
 	if !ok {
 		return
 	}
@@ -601,10 +664,28 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.evalContext(r, req.TimeoutMs)
 	defer cancel()
 	vals, err := plan.CertainAnswersIndexedCtx(ctx, free, ix, opts)
+	elapsed := time.Since(start)
+	entry := slowEntry{
+		Time:     start.UTC().Format(time.RFC3339Nano),
+		Endpoint: "answers",
+		Query:    plan.Query.String(),
+		Class:    classLabel(plan.Class),
+		Engine:   plan.Engine(opts).String(),
+		dur:      elapsed,
+	}
+	if ref != nil {
+		entry.DB = ref.Name
+	}
+	if tr != nil {
+		entry.Trace = tr.Breakdown()
+	}
 	if err != nil {
+		entry.Error = err.Error()
+		s.observeEval(entry)
 		s.evalError(w, err)
 		return
 	}
+	s.observeEval(entry)
 	answers := make([]map[string]string, len(vals))
 	for i, v := range vals {
 		m := make(map[string]string, len(v))
@@ -621,6 +702,7 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		Class:   plan.Class.String(),
 		Cached:  hit,
 		DB:      ref,
+		Trace:   traceJSON(tr, elapsed),
 	})
 }
 

@@ -16,6 +16,7 @@ import (
 	"cqa/internal/db"
 	"cqa/internal/faultinject"
 	"cqa/internal/match"
+	"cqa/internal/trace"
 )
 
 // Snapshot is one immutable version of a named database.
@@ -40,6 +41,15 @@ type Snapshot struct {
 // Snapshot and therefore a fresh index, so invalidation rides the
 // existing atomic swap. Safe for concurrent use.
 func (s *Snapshot) Index() *match.Index {
+	return s.IndexTraced(nil)
+}
+
+// IndexTraced is Index with stage tracing: the request that actually
+// builds the index records the build under the "index-build" stage —
+// requests that reuse a built index record nothing, so a trace showing
+// this stage is the fingerprint of a cold-snapshot request. A nil
+// tracer records nothing.
+func (s *Snapshot) IndexTraced(tr *trace.Tracer) *match.Index {
 	if ix := s.index.Load(); ix != nil {
 		if s.stats != nil {
 			s.stats.hits.Add(1)
@@ -58,6 +68,8 @@ func (s *Snapshot) Index() *match.Index {
 		}
 		return ix
 	}
+	sp := tr.Begin(trace.StageIndexBuild)
+	defer sp.End()
 	if s.stats != nil {
 		s.stats.building.Add(1)
 		defer s.stats.building.Add(-1)
@@ -78,6 +90,7 @@ func (s *Snapshot) Index() *match.Index {
 	if s.stats != nil {
 		s.stats.misses.Add(1)
 	}
+	tr.Add(trace.StageIndexBuild, trace.CtrFacts, int64(s.Facts))
 	return ix
 }
 

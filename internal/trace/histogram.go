@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free fixed-bucket latency histogram in the
+// cumulative-bucket style of Prometheus text exposition: Snapshot
+// returns counts of observations <= each upper bound, plus a +Inf
+// bucket, a sum, and a count. Observe is safe for concurrent use.
+type Histogram struct {
+	// bounds are the bucket upper limits in seconds, ascending.
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf overflow
+	sum    atomic.Int64   // nanoseconds
+}
+
+// DefaultLatencyBuckets spans the request latencies this service sees:
+// sub-millisecond warm-cache FO probes up to multi-second coNP searches.
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// NewHistogram builds a histogram over the bucket upper bounds (in
+// seconds, ascending). Nil bounds selects DefaultLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	secs := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && secs > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, with
+// cumulative bucket counts ready for text exposition.
+type HistogramSnapshot struct {
+	// Bounds are the upper limits in seconds; Cumulative[i] counts
+	// observations <= Bounds[i]. Inf counts all observations.
+	Bounds     []float64
+	Cumulative []int64
+	Inf        int64
+	// SumSeconds is the total of all observed latencies; Count the
+	// number of observations.
+	SumSeconds float64
+	Count      int64
+}
+
+// Snapshot copies the histogram's current state. Counts are read
+// per-bucket without a global lock, so a snapshot taken during
+// concurrent Observe calls may be off by in-flight samples but is
+// always internally monotone.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Bounds: h.bounds}
+	s.Cumulative = make([]int64, len(h.bounds))
+	var cum int64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	s.Inf = cum + h.counts[len(h.bounds)].Load()
+	s.SumSeconds = time.Duration(h.sum.Load()).Seconds()
+	// Count equals the +Inf bucket by construction, which keeps the
+	// exposition internally consistent even mid-Observe.
+	s.Count = s.Inf
+	return s
+}
