@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 
 	"cqa/internal/conp"
@@ -16,6 +15,7 @@ import (
 	"cqa/internal/ptime"
 	"cqa/internal/query"
 	"cqa/internal/rewrite"
+	"cqa/internal/shard"
 	"cqa/internal/trace"
 )
 
@@ -113,6 +113,10 @@ func (p *Plan) CertainIndexed(ix *match.Index, opts Options) (Result, error) {
 // the Result reports Approximate=true.
 func (p *Plan) CertainIndexedCtx(ctx context.Context, ix *match.Index, opts Options) (Result, error) {
 	chk := evalctx.NewTraced(ctx, evalctx.Limits{MaxSteps: opts.MaxSteps, MemoCap: opts.MemoCap}, opts.Tracer)
+	if pool, cleanup := shardedPool(ix, opts); pool != nil {
+		defer cleanup()
+		return p.certainSharded(ctx, ix, opts, chk, pool)
+	}
 	return p.certainChecked(ctx, ix, opts, chk)
 }
 
@@ -230,53 +234,22 @@ func (p *Plan) CertainAnswersIndexedCtx(ctx context.Context, free []query.Var, i
 	if err := chk.Check(); err != nil {
 		return nil, err
 	}
+	if pool, cleanup := shardedPool(ix, opts); pool != nil {
+		defer cleanup()
+		return p.certainAnswersSharded(ctx, free, ix, opts, chk, pool)
+	}
 	fastFO := p.Engine(opts) == EngineFO && !p.HasCycle && p.Elim != nil
 
-	// Candidate answers: projections of embeddings into d. Any certain
-	// answer must be one of these (the instantiated query must hold in
-	// the repair d' ⊆ d... every repair embeds it into d).
-	freeSet := query.NewVarSet(free...)
-	var candidates []query.Valuation
-	seen := make(map[string]bool)
-	sp := opts.Tracer.Begin(trace.StageMatch)
-	ix.MatchChecked(p.Query, query.Valuation{}, chk, func(m query.Valuation) bool {
-		proj := m.Restrict(freeSet)
-		k := proj.Key()
-		if !seen[k] {
-			seen[k] = true
-			candidates = append(candidates, proj)
-		}
-		return true
-	})
-	sp.End()
-	opts.Tracer.Add(trace.StageMatch, trace.CtrMatches, int64(len(candidates)))
-	if err := chk.Err(); err != nil {
+	candidates, err := p.enumerateCandidates(ix, free, opts, chk)
+	if err != nil {
 		return nil, err
 	}
 
 	check := func(proj query.Valuation, wchk *evalctx.Checker) (bool, error) {
-		if fastFO {
-			return p.Elim.CertainChecked(ix, proj, wchk)
-		}
-		qi := p.Query.Substitute(proj)
-		pi, err := Compile(qi)
-		if err != nil {
-			return false, err
-		}
-		res, err := pi.certainChecked(ctx, match.NewIndex(ix.DB), Options{Engine: opts.Engine}, wchk)
-		if err != nil {
-			return false, err
-		}
-		return res.Certain, nil
+		return p.checkCandidate(ctx, ix, opts, fastFO, proj, wchk)
 	}
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(candidates) {
-		workers = len(candidates)
-	}
+	workers := shard.Workers(opts.Workers, len(candidates))
 
 	certain := make([]bool, len(candidates))
 	errs := make([]error, len(candidates))
@@ -336,6 +309,53 @@ func (p *Plan) CertainAnswersIndexedCtx(ctx context.Context, free []query.Var, i
 		}
 	}
 	return out, nil
+}
+
+// enumerateCandidates collects the candidate answers: deduplicated
+// projections of the embeddings of the plan's query into the database,
+// in deterministic first-seen order. Any certain answer must be one of
+// these (the instantiated query must hold in the repair d' ⊆ d... every
+// repair embeds it into d).
+func (p *Plan) enumerateCandidates(ix *match.Index, free []query.Var, opts Options, chk *evalctx.Checker) ([]query.Valuation, error) {
+	freeSet := query.NewVarSet(free...)
+	var candidates []query.Valuation
+	seen := make(map[string]bool)
+	sp := opts.Tracer.Begin(trace.StageMatch)
+	ix.MatchChecked(p.Query, query.Valuation{}, chk, func(m query.Valuation) bool {
+		proj := m.Restrict(freeSet)
+		k := proj.Key()
+		if !seen[k] {
+			seen[k] = true
+			candidates = append(candidates, proj)
+		}
+		return true
+	})
+	sp.End()
+	opts.Tracer.Add(trace.StageMatch, trace.CtrMatches, int64(len(candidates)))
+	if err := chk.Err(); err != nil {
+		return nil, err
+	}
+	return candidates, nil
+}
+
+// checkCandidate decides one candidate binding: FO plans seed the
+// compiled eliminator with the binding (Lemma 6 — instantiation never
+// adds attacks), every other class substitutes and re-dispatches the
+// instantiated Boolean query.
+func (p *Plan) checkCandidate(ctx context.Context, ix *match.Index, opts Options, fastFO bool, proj query.Valuation, wchk *evalctx.Checker) (bool, error) {
+	if fastFO {
+		return p.Elim.CertainChecked(ix, proj, wchk)
+	}
+	qi := p.Query.Substitute(proj)
+	pi, err := Compile(qi)
+	if err != nil {
+		return false, err
+	}
+	res, err := pi.certainChecked(ctx, match.NewIndex(ix.DB), Options{Engine: opts.Engine}, wchk)
+	if err != nil {
+		return false, err
+	}
+	return res.Certain, nil
 }
 
 // Normalize parses a query in the textual syntax and returns it in

@@ -1,16 +1,20 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"cqa/internal/core"
 	"cqa/internal/db"
+	"cqa/internal/match"
 	"cqa/internal/query"
+	"cqa/internal/shard"
 )
 
 // EvalResult is one measured configuration of the E-index evaluation
@@ -20,6 +24,7 @@ type EvalResult struct {
 	Blocks      int     `json:"blocks"`
 	Index       string  `json:"index"` // "warm" or "cold"
 	Workers     int     `json:"workers,omitempty"`
+	Shards      int     `json:"shards,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -42,8 +47,24 @@ const (
 	evalQueryText = "R(x | y), S(y | z)"
 	evalNote      = "certain: one CERTAINTY decision per op on a falsified chain instance (full block sweep); " +
 		"answers: certain answers of x per op. warm reuses the memoized db index across ops; " +
-		"cold drops it every op via ResetCaches."
+		"cold drops it every op via ResetCaches. answers-flat/answers-sharded: certain answers " +
+		"of x on a large certain chain — the monolithic enumerate-then-check sweep vs the " +
+		"key-partitioned scatter-gather (per-shard block sweeps merged by sorted key) at " +
+		"increasing shard counts; the pool is built and warmed outside the timed loop, as the " +
+		"serving layer caches it per snapshot version."
 )
+
+// evalShardSweep is the fan-outs of the sharded answers scaling rows.
+var evalShardSweep = []int{1, 2, 4, 8}
+
+// evalShardChainN is the evalChainDB size of the sharded rows: 43k
+// x-chains come to ~100k blocks across both relations.
+func evalShardChainN(quick bool) int {
+	if quick {
+		return 500
+	}
+	return 43000
+}
 
 // evalSizes returns the block-count sweep of the certain benchmarks.
 func evalSizes(quick bool) []int {
@@ -121,12 +142,13 @@ func RunEval(quick bool) (*EvalReport, error) {
 		Note:     evalNote,
 		Baseline: prePRBaseline,
 	}
-	record := func(name string, blocks int, index string, workers int, r testing.BenchmarkResult) {
+	record := func(name string, blocks int, index string, workers, shards int, r testing.BenchmarkResult) {
 		rep.Results = append(rep.Results, EvalResult{
 			Name:        name,
 			Blocks:      blocks,
 			Index:       index,
 			Workers:     workers,
+			Shards:      shards,
 			NsPerOp:     float64(r.NsPerOp()),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
@@ -146,7 +168,7 @@ func RunEval(quick bool) (*EvalReport, error) {
 				}
 			}
 		})
-		record("certain", blocks, "warm", 0, warm)
+		record("certain", blocks, "warm", 0, 0, warm)
 		cold := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -156,7 +178,7 @@ func RunEval(quick bool) (*EvalReport, error) {
 				}
 			}
 		})
-		record("certain", blocks, "cold", 0, cold)
+		record("certain", blocks, "cold", 0, 0, cold)
 	}
 
 	answersBlocks := 1000
@@ -182,9 +204,56 @@ func RunEval(quick bool) (*EvalReport, error) {
 				}
 			}
 		})
-		record("answers", ad.NumBlocks(), "warm", w, r)
+		record("answers", ad.NumBlocks(), "warm", w, 0, r)
+	}
+
+	// Sharded answers scaling: one large certain chain, the flat
+	// (monolithic) sweep as the baseline, then the key-partitioned
+	// scatter-gather at increasing fan-outs over the same index.
+	sd := evalChainDB(q, evalShardChainN(quick))
+	six := match.NewIndex(sd)
+	ctx := context.Background()
+	flat := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.CertainAnswersIndexedCtx(ctx, free, six, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	record("answers-flat", sd.NumBlocks(), "warm", 0, 0, flat)
+	for _, k := range evalShardSweep {
+		pool := shard.NewPool(sd, k, shard.PoolOptions{})
+		if err := waitPoolBuilt(pool); err != nil {
+			pool.Close()
+			return nil, err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.CertainAnswersIndexedCtx(ctx, free, six, core.Options{ShardPool: pool}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		pool.Close()
+		record("answers-sharded", sd.NumBlocks(), "warm", 0, k, r)
 	}
 	return rep, nil
+}
+
+// waitPoolBuilt blocks until every shard index of the pool finished
+// building, so the timed loop measures the scatter and not the one-time
+// partition build.
+func waitPoolBuilt(p *shard.Pool) error {
+	deadline := time.Now().Add(time.Minute)
+	for p.Building() > 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("experiments: shard pool still building after 1m")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
 }
 
 // ValidateEvalJSON reads an E-index evaluation report and checks it
@@ -220,6 +289,11 @@ func ValidateEvalJSON(path string, quick bool) error {
 		}
 	}
 	answersSeq, answersPool := false, false
+	shardMissing := map[int]bool{}
+	for _, k := range evalShardSweep {
+		shardMissing[k] = true
+	}
+	flatBlocks, shardedBlocks := 0, 0
 	for i, res := range rep.Results {
 		if res.NsPerOp <= 0 || res.Iterations <= 0 {
 			return fmt.Errorf("%s: results[%d] (%s/%d/%s) has no measurement", path, i, res.Name, res.Blocks, res.Index)
@@ -233,6 +307,14 @@ func ValidateEvalJSON(path string, quick bool) error {
 			} else if res.Workers >= 2 {
 				answersPool = true
 			}
+		case "answers-flat":
+			flatBlocks = res.Blocks
+		case "answers-sharded":
+			delete(shardMissing, res.Shards)
+			if shardedBlocks != 0 && shardedBlocks != res.Blocks {
+				return fmt.Errorf("%s: answers-sharded rows measure different instances (%d vs %d blocks)", path, shardedBlocks, res.Blocks)
+			}
+			shardedBlocks = res.Blocks
 		}
 	}
 	if len(missing) > 0 {
@@ -245,6 +327,20 @@ func ValidateEvalJSON(path string, quick bool) error {
 	}
 	if !answersSeq || !answersPool {
 		return fmt.Errorf("%s: answers results must cover workers=1 and the pool (have seq=%v pool=%v)", path, answersSeq, answersPool)
+	}
+	if flatBlocks == 0 {
+		return fmt.Errorf("%s: missing the answers-flat baseline row (regenerate with -evaljson)", path)
+	}
+	if len(shardMissing) > 0 {
+		keys := make([]int, 0, len(shardMissing))
+		for k := range shardMissing {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		return fmt.Errorf("%s: answers-sharded rows missing shard counts %v (regenerate with -evaljson)", path, keys)
+	}
+	if shardedBlocks != flatBlocks {
+		return fmt.Errorf("%s: answers-sharded rows (%d blocks) measure a different instance than answers-flat (%d blocks)", path, shardedBlocks, flatBlocks)
 	}
 	return nil
 }

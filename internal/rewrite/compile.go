@@ -129,15 +129,124 @@ func (e *Eliminator) CertainChecked(ix *match.Index, initial query.Valuation, ch
 	sp := chk.Tracer().Begin(trace.StageEliminator)
 	res := ev.run(0, val)
 	sp.End()
-	if tr := chk.Tracer(); tr != nil {
-		tr.Add(trace.StageEliminator, trace.CtrSteps, ev.trSteps)
-		tr.Add(trace.StageEliminator, trace.CtrMemoHits, ev.trHits)
-		tr.Add(trace.StageEliminator, trace.CtrMemoMisses, ev.trMisses)
-	}
+	ev.flushCounters()
 	if err := chk.Err(); err != nil {
 		return false, err
 	}
 	return res, nil
+}
+
+// CertainOverBlocks is CertainChecked with the top level of the walk
+// restricted to the supplied blocks, which must all belong to the first
+// elimination atom's relation. The Lemma 10 top level is an existential
+// over the blocks of that relation — some block must pass the Lemma 9
+// test — so a caller that partitions the relation's blocks can evaluate
+// each part independently and OR the results: the partition's union
+// decides exactly what CertainChecked decides. This is the per-shard
+// task of the scatter-gather path. Blocks whose key does not unify with
+// the atom's key pattern contribute false, so a partition containing
+// non-matching blocks is harmless.
+func (e *Eliminator) CertainOverBlocks(ix *match.Index, blocks []db.Block, chk *evalctx.Checker) (bool, error) {
+	ev := &elimEval{e: e, ix: ix, memo: make(map[string]bool), chk: chk, memoCap: chk.MemoCap()}
+	val := query.Valuation{}
+	f := e.order[0]
+	sp := chk.Tracer().Begin(trace.StageEliminator)
+	res := false
+	for _, b := range blocks {
+		if len(b.Facts) == 0 {
+			continue
+		}
+		if ev.chk.Step() != nil {
+			break
+		}
+		ev.trSteps++
+		if ev.blockCertain(0, f, b, val) {
+			res = true
+			break
+		}
+	}
+	sp.End()
+	ev.flushCounters()
+	if err := chk.Err(); err != nil {
+		return false, err
+	}
+	return res, nil
+}
+
+// SweepableFree reports whether the certain-answers block sweep applies
+// to the given free variables: every free variable occurs among the key
+// arguments of the first elimination atom, and every key argument of
+// that atom is a constant or a free variable. Under this condition each
+// candidate binding grounds the atom's whole key, so the one block that
+// can witness the binding is the block the binding was read from — the
+// sweep enumerates candidates and decides them in a single pass over
+// the relation's blocks, with no join enumeration and no per-candidate
+// block probe. Distinct blocks yield distinct bindings, so the sweep
+// needs no dedup and partitions exactly like the blocks themselves.
+func (e *Eliminator) SweepableFree(free []query.Var) bool {
+	if len(e.order) == 0 {
+		return false
+	}
+	keyVars := make(query.VarSet)
+	for _, t := range e.order[0].KeyArgs() {
+		if t.IsVar() {
+			keyVars.Add(t.Var())
+		}
+	}
+	freeSet := query.NewVarSet(free...)
+	for _, v := range free {
+		if !keyVars.Has(v) {
+			return false
+		}
+	}
+	for v := range keyVars {
+		if !freeSet.Has(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// SweepBlocks runs the certain-answers block sweep over the supplied
+// blocks of the first elimination atom's relation (see SweepableFree
+// for when it applies): for each block, the candidate binding of the
+// free variables is read off the block key, the block is put through
+// the Lemma 9 test under that binding, and the bindings whose
+// instantiated query is certain are returned in block order. The memo
+// table is shared across the whole sweep — bindings eliminated from the
+// residue's relevant set let distinct candidates share entries. A
+// non-nil error means the sweep was cut short and the slice is
+// meaningless.
+func (e *Eliminator) SweepBlocks(ix *match.Index, blocks []db.Block, free []query.Var, chk *evalctx.Checker) ([]query.Valuation, error) {
+	ev := &elimEval{e: e, ix: ix, memo: make(map[string]bool), chk: chk, memoCap: chk.MemoCap()}
+	f := e.order[0]
+	freeSet := query.NewVarSet(free...)
+	val := query.Valuation{}
+	var out []query.Valuation
+	sp := chk.Tracer().Begin(trace.StageEliminator)
+	for _, b := range blocks {
+		if len(b.Facts) == 0 {
+			continue
+		}
+		if ev.chk.Step() != nil {
+			break
+		}
+		ev.trSteps++
+		added, ok := unifyUndo(f.KeyArgs(), b.Facts[0].Key(), val)
+		if !ok {
+			continue
+		}
+		if ev.blockCertain(0, f, b, val) && ev.chk.Err() == nil {
+			out = append(out, val.Restrict(freeSet))
+		}
+		undoBindings(val, added)
+	}
+	sp.End()
+	ev.flushCounters()
+	if err := chk.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // elimEval is one evaluation of an Eliminator: a shared valuation
@@ -154,6 +263,17 @@ type elimEval struct {
 	// Effort counters for the stage tracer, kept as plain ints on the
 	// single-goroutine walk and flushed once at the end.
 	trSteps, trHits, trMisses int64
+}
+
+// flushCounters pushes the walk's effort counters to the stage tracer.
+func (ev *elimEval) flushCounters() {
+	tr := ev.chk.Tracer()
+	if tr == nil {
+		return
+	}
+	tr.Add(trace.StageEliminator, trace.CtrSteps, ev.trSteps)
+	tr.Add(trace.StageEliminator, trace.CtrMemoHits, ev.trHits)
+	tr.Add(trace.StageEliminator, trace.CtrMemoMisses, ev.trMisses)
 }
 
 func (ev *elimEval) run(level int, val query.Valuation) bool {

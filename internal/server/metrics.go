@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cqa/internal/shard"
 	"cqa/internal/trace"
 )
 
@@ -210,6 +211,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "cqa_indexcache_misses_total %d\n", ixst.Misses())
 	fmt.Fprintf(&b, "cqa_indexcache_building %d\n", ixst.Building())
 	fmt.Fprintf(&b, "cqa_store_databases %d\n", s.store.Len())
+
+	sst := s.store.ShardStats()
+	fmt.Fprintf(&b, "cqa_shard_building %d\n", sst.Building)
+	fmt.Fprintf(&b, "cqa_shard_hedges_total %d\n", sst.Hedges)
+	fmt.Fprintf(&b, "cqa_shard_hedge_wins_total %d\n", sst.HedgeWins)
+	for _, dbSnap := range s.store.List() {
+		st, ok := dbSnap.ShardStats()
+		if !ok {
+			continue
+		}
+		for _, sh := range st.Shards {
+			unhealthy := 0
+			if sh.Health == shard.HealthUnhealthy {
+				unhealthy = 1
+			}
+			fmt.Fprintf(&b, "cqa_shard_unhealthy{db=%q,shard=\"%d\"} %d\n", dbSnap.Name, sh.ID, unhealthy)
+			snap := sh.Hist.Snapshot()
+			for i, bound := range snap.Bounds {
+				fmt.Fprintf(&b, "cqa_shard_eval_duration_seconds_bucket{db=%q,shard=\"%d\",le=%q} %d\n",
+					dbSnap.Name, sh.ID, formatBound(bound), snap.Cumulative[i])
+			}
+			fmt.Fprintf(&b, "cqa_shard_eval_duration_seconds_bucket{db=%q,shard=\"%d\",le=\"+Inf\"} %d\n", dbSnap.Name, sh.ID, snap.Inf)
+			fmt.Fprintf(&b, "cqa_shard_eval_duration_seconds_sum{db=%q,shard=\"%d\"} %g\n", dbSnap.Name, sh.ID, snap.SumSeconds)
+			fmt.Fprintf(&b, "cqa_shard_eval_duration_seconds_count{db=%q,shard=\"%d\"} %d\n", dbSnap.Name, sh.ID, snap.Count)
+		}
+	}
 
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, b.String())

@@ -39,6 +39,7 @@ import (
 	"cqa/internal/plancache"
 	"cqa/internal/query"
 	"cqa/internal/rewrite"
+	"cqa/internal/shard"
 	"cqa/internal/store"
 	"cqa/internal/trace"
 )
@@ -96,6 +97,14 @@ type Config struct {
 	// is retained in the slow-query log; 0 selects
 	// DefaultSlowLogThreshold, negative disables the log.
 	SlowLogThreshold time.Duration
+	// Shards enables the sharded scatter-gather evaluation path: stored
+	// snapshots get a cached shard.Pool of this size (built lazily per
+	// snapshot version), inline-facts requests an ephemeral one. <= 1
+	// keeps the monolithic path.
+	Shards int
+	// HedgeDelay is the straggler threshold of hedged duplicate
+	// dispatch on the snapshot pools; 0 disables hedging.
+	HedgeDelay time.Duration
 }
 
 // Server carries the shared serving state. Create with New; the
@@ -112,6 +121,8 @@ type Server struct {
 	maxSteps    int64
 	memoCap     int
 	slowlog     *slowLog
+	shards      int
+	hedge       time.Duration
 	// draining is flipped by graceful shutdown before the listener
 	// stops accepting: readiness goes false first, so load balancers
 	// stop routing while in-flight requests finish.
@@ -166,6 +177,8 @@ func New(cfg Config) *Server {
 		maxSteps:    maxSteps,
 		memoCap:     memoCap,
 		slowlog:     newSlowLog(cfg.SlowLogSize, slowThreshold),
+		shards:      cfg.Shards,
+		hedge:       cfg.HedgeDelay,
 	}
 }
 
@@ -350,6 +363,14 @@ func (s *Server) evalError(w http.ResponseWriter, err error) {
 	case errors.Is(err, context.Canceled):
 		httpErrorCode(w, statusClientClosedRequest, "client_closed_request",
 			"client closed the request: %v", err)
+	case errors.Is(err, shard.ErrFailed):
+		// After the context cases: a deadline that tripped inside a
+		// shard is still a 504. A shard-infrastructure failure is
+		// transient — the shard heals on its next success — so a retry
+		// is worth hinting.
+		w.Header().Set("Retry-After", "1")
+		httpErrorCode(w, http.StatusServiceUnavailable, "shard_unavailable",
+			"shard failed during evaluation: %v", err)
 	case errors.Is(err, evalctx.ErrBudgetExceeded):
 		httpErrorCode(w, http.StatusUnprocessableEntity, "budget_exhausted",
 			"evaluation step budget exhausted: %v", err)
@@ -434,38 +455,40 @@ func (s *Server) compileTraced(w http.ResponseWriter, text string, tr *trace.Tra
 // resolveDB produces the evaluation index a certain/answers request
 // runs against: for a stored snapshot (by name) the index cached on the
 // snapshot — built once per snapshot version and reused across requests
-// — and for inline facts a fresh index over the parsed database.
+// — and for inline facts a fresh index over the parsed database. When
+// sharding is enabled, a stored snapshot also yields its cached shard
+// pool (inline facts fall back to an ephemeral pool built inside core).
 // Exactly one of "db" and "facts" must be set.
-func (s *Server) resolveDB(w http.ResponseWriter, req certainRequest, plan *core.Plan, tr *trace.Tracer) (*match.Index, *dbRef, bool) {
+func (s *Server) resolveDB(w http.ResponseWriter, req certainRequest, plan *core.Plan, tr *trace.Tracer) (*match.Index, *shard.Pool, *dbRef, bool) {
 	switch {
 	case req.DB != "" && req.Facts != "":
 		httpError(w, http.StatusBadRequest, "set either \"db\" or \"facts\", not both")
-		return nil, nil, false
+		return nil, nil, nil, false
 	case req.DB != "":
 		snap, ok := s.store.Get(req.DB)
 		if !ok {
 			httpError(w, http.StatusNotFound, "unknown database %q", req.DB)
-			return nil, nil, false
+			return nil, nil, nil, false
 		}
 		if err := checkSchema(plan.Query, snap.DB); err != nil {
 			httpError(w, http.StatusBadRequest, "database %q: %v", req.DB, err)
-			return nil, nil, false
+			return nil, nil, nil, false
 		}
-		return snap.IndexTraced(tr), &dbRef{Name: snap.Name, Version: snap.Version}, true
+		return snap.IndexTraced(tr), snap.ShardPool(s.shards, s.hedge), &dbRef{Name: snap.Name, Version: snap.Version}, true
 	case req.Facts != "":
 		d, err := db.ParseFacts(plan.Query.Schema(), req.Facts)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "facts: %v", err)
-			return nil, nil, false
+			return nil, nil, nil, false
 		}
 		if !d.ConsistentFor() {
 			httpError(w, http.StatusBadRequest, "a mode-c relation of the input violates its primary key")
-			return nil, nil, false
+			return nil, nil, nil, false
 		}
-		return match.NewIndex(d), nil, true
+		return match.NewIndex(d), nil, nil, true
 	default:
 		httpError(w, http.StatusBadRequest, "missing \"db\" (stored database name) or \"facts\" (inline facts)")
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 }
 
@@ -521,23 +544,50 @@ func (s *Server) notReadyReasons() []string {
 	if n := s.store.IndexStats().Building(); n > 0 {
 		reasons = append(reasons, fmt.Sprintf("%d snapshot index build(s) in flight", n))
 	}
+	if n := s.store.ShardStats().Building; n > 0 {
+		reasons = append(reasons, fmt.Sprintf("%d shard index build(s) in flight", n))
+	}
 	if len(s.sem) >= cap(s.sem) {
 		reasons = append(reasons, fmt.Sprintf("admission saturated (%d in flight)", cap(s.sem)))
 	}
 	return reasons
 }
 
+// shardsInfo summarizes the shard clusters across every snapshot for
+// the readiness body; all zero when sharding is disabled or no pool has
+// been built yet.
+type shardsInfo struct {
+	Total     int `json:"total"`
+	Ready     int `json:"ready"`
+	Building  int `json:"building"`
+	Unhealthy int `json:"unhealthy,omitempty"`
+}
+
+type readyzResponse struct {
+	Status string     `json:"status"` // "ready" or "not_ready"
+	Error  string     `json:"error,omitempty"`
+	Code   string     `json:"code,omitempty"`
+	Shards shardsInfo `json:"shards"`
+}
+
 // handleReadyz is readiness: whether this instance should receive new
-// traffic right now.
+// traffic right now. The body reports the shard-cluster state either
+// way — a fresh snapshot swap shows building > 0 (and not_ready) until
+// every shard finished rebuilding its partition.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.store.ShardStats()
+	si := shardsInfo{Total: st.Total, Ready: st.Ready, Building: st.Building, Unhealthy: st.Unhealthy}
 	if reasons := s.notReadyReasons(); len(reasons) > 0 {
 		w.Header().Set("Retry-After", "1")
-		httpErrorCode(w, http.StatusServiceUnavailable, "not_ready",
-			"not ready: %s", strings.Join(reasons, "; "))
+		writeJSON(w, http.StatusServiceUnavailable, readyzResponse{
+			Status: "not_ready",
+			Error:  "not ready: " + strings.Join(reasons, "; "),
+			Code:   "not_ready",
+			Shards: si,
+		})
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ready\n") //nolint:errcheck
+	writeJSON(w, http.StatusOK, readyzResponse{Status: "ready", Shards: si})
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
@@ -580,10 +630,12 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts.Tracer = tr
-	ix, ref, ok := s.resolveDB(w, req, plan, tr)
+	ix, pool, ref, ok := s.resolveDB(w, req, plan, tr)
 	if !ok {
 		return
 	}
+	opts.Shards = s.shards
+	opts.ShardPool = pool
 	ctx, cancel := s.evalContext(r, req.TimeoutMs)
 	defer cancel()
 	res, err := plan.CertainIndexedCtx(ctx, ix, opts)
@@ -653,10 +705,12 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts.Tracer = tr
-	ix, ref, ok := s.resolveDB(w, req, plan, tr)
+	ix, pool, ref, ok := s.resolveDB(w, req, plan, tr)
 	if !ok {
 		return
 	}
+	opts.Shards = s.shards
+	opts.ShardPool = pool
 	free := make([]query.Var, len(req.Free))
 	for i, name := range req.Free {
 		free[i] = query.Var(name)

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"cqa/internal/faultinject"
+)
+
+const shardTestFacts = `R(a | b)
+R(a | c)
+R(d | e)
+S(b | z1)
+S(c | z1)
+S(e | z2)
+`
+
+// waitShardsReady polls readiness until the shard clusters of every
+// snapshot finished building.
+func waitShardsReady(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.store.ShardStats().Building > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("shard builds still in flight after 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShardedServing drives the certain and answers routes of a sharded
+// server end to end against a stored snapshot and checks the readiness
+// body and the shard metrics.
+func TestShardedServing(t *testing.T) {
+	s := New(Config{CacheSize: 16, MaxWorkers: 4, Shards: 4})
+	h := s.Handler()
+
+	if rec := do(t, h, "PUT", "/v1/db/mine", shardTestFacts, nil); rec.Code != 200 {
+		t.Fatalf("upload: %d %s", rec.Code, rec.Body.String())
+	}
+
+	var cert certainResponse
+	rec := do(t, h, "POST", "/v1/certain", `{"query": "R(x | y), S(y | z)", "db": "mine"}`, &cert)
+	if rec.Code != 200 {
+		t.Fatalf("sharded certain: %d %s", rec.Code, rec.Body.String())
+	}
+	// Block R(a|...) is uncertain between b and c but both continue into
+	// S; block R(d|...) continues too, so the query is certain.
+	if !cert.Certain {
+		t.Fatalf("sharded certain = false, want true: %+v", cert)
+	}
+
+	var ans answersResponse
+	rec = do(t, h, "POST", "/v1/answers", `{"query": "R(x | y), S(y | z)", "db": "mine", "free": ["x"]}`, &ans)
+	if rec.Code != 200 {
+		t.Fatalf("sharded answers: %d %s", rec.Code, rec.Body.String())
+	}
+	if ans.Count != 2 {
+		t.Fatalf("sharded answers = %+v, want x in {a, d}", ans)
+	}
+	got := map[string]bool{}
+	for _, a := range ans.Answers {
+		got[a["x"]] = true
+	}
+	if !got["a"] || !got["d"] {
+		t.Fatalf("sharded answers = %v, want {a, d}", got)
+	}
+
+	waitShardsReady(t, s)
+	var ready readyzResponse
+	rec = do(t, h, "GET", "/readyz", "", &ready)
+	if rec.Code != 200 {
+		t.Fatalf("readyz: %d %s", rec.Code, rec.Body.String())
+	}
+	if ready.Status != "ready" || ready.Shards.Total != 4 || ready.Shards.Ready != 4 || ready.Shards.Building != 0 {
+		t.Fatalf("readyz body: %+v", ready)
+	}
+
+	rec = do(t, h, "GET", "/metrics", "", nil)
+	for _, frag := range []string{
+		"cqa_shard_building 0",
+		"cqa_shard_hedges_total",
+		"cqa_shard_unhealthy{db=\"mine\",shard=\"0\"} 0",
+		"cqa_shard_eval_duration_seconds_count{db=\"mine\",shard=\"0\"}",
+	} {
+		if !strings.Contains(rec.Body.String(), frag) {
+			t.Errorf("metrics missing %q:\n%s", frag, rec.Body.String())
+		}
+	}
+}
+
+// TestShardUnavailable maps a persistent shard failure to the 503
+// shard_unavailable taxonomy entry — a structured error, never a wrong
+// boolean.
+func TestShardUnavailable(t *testing.T) {
+	defer faultinject.Reset()
+	s := New(Config{CacheSize: 16, MaxWorkers: 4, Shards: 3})
+	h := s.Handler()
+	if rec := do(t, h, "PUT", "/v1/db/mine", shardTestFacts, nil); rec.Code != 200 {
+		t.Fatalf("upload: %d", rec.Code)
+	}
+	faultinject.Set("shard.eval", func(int) error { return errors.New("dead shard") })
+	var resp errorResponse
+	rec := do(t, h, "POST", "/v1/certain", `{"query": "R(x | y), S(y | z)", "db": "mine"}`, nil)
+	if rec.Code != 503 {
+		t.Fatalf("dead shards: %d %s, want 503", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.Code != "shard_unavailable" {
+		t.Fatalf("code = %q, want shard_unavailable\nbody: %s", resp.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Errorf("503 without Retry-After")
+	}
+
+	// The cluster heals once the fault clears: the same request succeeds
+	// and readiness recovers.
+	faultinject.Clear("shard.eval")
+	var cert certainResponse
+	if rec := do(t, h, "POST", "/v1/certain", `{"query": "R(x | y), S(y | z)", "db": "mine"}`, &cert); rec.Code != 200 || !cert.Certain {
+		t.Fatalf("healed certain: %d %+v", rec.Code, cert)
+	}
+}
+
+// TestShardedInlineFacts exercises the ephemeral-pool path: inline facts
+// have no snapshot to cache a pool on, yet the sharded evaluation still
+// answers correctly.
+func TestShardedInlineFacts(t *testing.T) {
+	s := New(Config{CacheSize: 16, MaxWorkers: 4, Shards: 3})
+	h := s.Handler()
+	var cert certainResponse
+	rec := do(t, h, "POST", "/v1/certain",
+		`{"query": "R(x | y), S(y | z)", "facts": "R(a | b)\nR(a | c)\nS(b | z1)"}`, &cert)
+	if rec.Code != 200 {
+		t.Fatalf("inline sharded certain: %d %s", rec.Code, rec.Body.String())
+	}
+	if cert.Certain {
+		t.Fatalf("inline sharded certain = true, want false (block a may pick c)")
+	}
+}

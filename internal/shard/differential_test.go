@@ -1,0 +1,278 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cqa/internal/core"
+	"cqa/internal/db"
+	"cqa/internal/difftest"
+	"cqa/internal/evalctx"
+	"cqa/internal/faultinject"
+	"cqa/internal/match"
+	"cqa/internal/query"
+	"cqa/internal/shard"
+	"time"
+
+	"cqa/internal/workload"
+)
+
+// shardCounts are the fan-outs the differential suite compares against
+// the monolithic path: the degenerate single shard, and two coprime
+// counts so block ownership actually moves between them.
+var shardCounts = []int{1, 3, 7}
+
+// freeVarsOf picks a deterministic free-variable list for the answers
+// comparison: up to two variables in sorted order.
+func freeVarsOf(q query.Query) []query.Var {
+	vars := q.Vars().Sorted()
+	if len(vars) > 2 {
+		vars = vars[:2]
+	}
+	return vars
+}
+
+func answerKeys(t *testing.T, vals []query.Valuation) map[string]bool {
+	t.Helper()
+	keys := make(map[string]bool, len(vals))
+	for _, v := range vals {
+		k := v.Key()
+		if keys[k] {
+			t.Fatalf("duplicate answer %s", k)
+		}
+		keys[k] = true
+	}
+	return keys
+}
+
+// TestShardedDifferential replays the seeded difftest corpus (the same
+// generator and case count as TestDifferentialSeeded, all six families)
+// and checks that the sharded scatter-gather evaluation agrees with the
+// monolithic path at every tested shard count — Boolean certainty
+// exactly, certain answers as sets.
+func TestShardedDifferential(t *testing.T) {
+	const wantChecked = 520
+	ctx := context.Background()
+	checked := 0
+	for seed := int64(0); checked < wantChecked && seed < 5000; seed++ {
+		shape := byte(seed % difftest.NumShapes)
+		q, d := difftest.Generate(seed, shape)
+		plan, err := core.Compile(q)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		ix := match.NewIndex(d)
+		mono, err := plan.CertainIndexed(ix, core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: monolithic: %v", seed, err)
+		}
+		free := freeVarsOf(q)
+		monoAns, err := plan.CertainAnswersIndexedCtx(ctx, free, ix, core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: monolithic answers: %v", seed, err)
+		}
+		monoKeys := answerKeys(t, monoAns)
+
+		for _, k := range shardCounts {
+			res, err := plan.CertainIndexedCtx(ctx, ix, core.Options{Shards: k})
+			if err != nil {
+				t.Fatalf("seed %d shards %d: %v", seed, k, err)
+			}
+			if res.Certain != mono.Certain {
+				t.Fatalf("seed %d shards %d: sharded = %v, monolithic = %v\nquery: %s\ndb:\n%s",
+					seed, k, res.Certain, mono.Certain, q, d)
+			}
+			ans, err := plan.CertainAnswersIndexedCtx(ctx, free, ix, core.Options{Shards: k})
+			if err != nil {
+				t.Fatalf("seed %d shards %d: answers: %v", seed, k, err)
+			}
+			keys := answerKeys(t, ans)
+			if len(keys) != len(monoKeys) {
+				t.Fatalf("seed %d shards %d: %d answers, monolithic %d\nquery: %s (free %v)\ndb:\n%s",
+					seed, k, len(keys), len(monoKeys), q, free, d)
+			}
+			for mk := range monoKeys {
+				if !keys[mk] {
+					t.Fatalf("seed %d shards %d: answer %s missing\nquery: %s (free %v)\ndb:\n%s",
+						seed, k, mk, q, free, d)
+				}
+			}
+		}
+		checked++
+	}
+	if checked < wantChecked {
+		t.Fatalf("verified only %d cases, want %d", checked, wantChecked)
+	}
+	t.Logf("verified %d cases at shard counts %v", checked, shardCounts)
+}
+
+// TestShardedDifferentialUnderFaults injects one-shot evaluation and
+// index-build faults into every sharded run of a corpus slice: the
+// evaluation must either fail with the structured shard error or return
+// exactly the monolithic answer — never a wrong boolean.
+func TestShardedDifferentialUnderFaults(t *testing.T) {
+	defer faultinject.Reset()
+	ctx := context.Background()
+	boom := errors.New("chaos")
+	for _, hook := range []string{"shard.eval", "shard.index"} {
+		for seed := int64(0); seed < 60; seed++ {
+			q, d := difftest.Generate(seed, byte(seed%difftest.NumShapes))
+			plan, err := core.Compile(q)
+			if err != nil {
+				t.Fatalf("seed %d: compile: %v", seed, err)
+			}
+			ix := match.NewIndex(d)
+			mono, err := plan.CertainIndexed(ix, core.Options{})
+			if err != nil {
+				t.Fatalf("seed %d: monolithic: %v", seed, err)
+			}
+			// Fire exactly once: one shard of the scatter fails, the
+			// rest run clean.
+			faultinject.SetWindow(hook, 0, 1, func(int) error { return boom })
+			res, err := plan.CertainIndexedCtx(ctx, ix, core.Options{Shards: 3})
+			faultinject.Clear(hook)
+			if err != nil {
+				if !errors.Is(err, shard.ErrFailed) {
+					t.Fatalf("seed %d hook %s: unstructured error %v", seed, hook, err)
+				}
+				continue
+			}
+			// An early-exit true can legitimately win the race against
+			// the faulted shard; what it may never do is disagree.
+			if res.Certain != mono.Certain {
+				t.Fatalf("seed %d hook %s: sharded = %v under fault, monolithic = %v\nquery: %s\ndb:\n%s",
+					seed, hook, res.Certain, mono.Certain, q, d)
+			}
+		}
+	}
+}
+
+// TestShardedDeadShard pins a persistent fault to one shard: every
+// scatter that touches it reports the structured failure, and the pool
+// marks the shard unhealthy.
+func TestShardedDeadShard(t *testing.T) {
+	defer faultinject.Reset()
+	q := workload.PathQuery(2)
+	rng := rand.New(rand.NewSource(4))
+	d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+	plan, err := core.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := match.NewIndex(d)
+	mono, err := plan.CertainIndexed(ix, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := shard.NewPool(d, 3, shard.PoolOptions{})
+	defer pool.Close()
+	faultinject.Set("shard.eval.1", func(int) error { return errors.New("dead") })
+
+	res, err := plan.CertainIndexedCtx(context.Background(), ix, core.Options{ShardPool: pool})
+	if err == nil {
+		// The early-exit merge may decide true before consulting the
+		// dead shard; a false verdict would have required it.
+		if !res.Certain || !mono.Certain {
+			t.Fatalf("dead shard produced a definitive %v (monolithic %v) without an error", res.Certain, mono.Certain)
+		}
+	} else if !errors.Is(err, shard.ErrFailed) {
+		t.Fatalf("dead shard error is unstructured: %v", err)
+	}
+	st := pool.Stats()
+	if err != nil && st.Shards[1].Health != shard.HealthUnhealthy {
+		t.Fatalf("dead shard health %v, want unhealthy", st.Shards[1].Health)
+	}
+}
+
+// TestShardedBudgetDegradesToApproximate exhausts the shared step
+// budget inside a sharded coNP evaluation: with Approximate set the
+// degraded sampling estimate propagates through the shard dispatch.
+func TestShardedBudgetDegradesToApproximate(t *testing.T) {
+	q := workload.NonKeyJoinQuery()
+	rng := rand.New(rand.NewSource(9))
+	d := workload.HardInstance(rng, 30, 120, 4)
+	plan, err := core.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := match.NewIndex(d)
+	opts := core.Options{Engine: core.EngineCoNP, MaxSteps: 50, Shards: 3}
+	if _, err := plan.CertainIndexedCtx(context.Background(), ix, opts); !errors.Is(err, evalctx.ErrBudgetExceeded) {
+		t.Fatalf("tiny budget through shards: got %v, want ErrBudgetExceeded", err)
+	}
+
+	opts.Approximate = true
+	opts.Samples = 64
+	res, err := plan.CertainIndexedCtx(context.Background(), ix, opts)
+	if err != nil {
+		t.Fatalf("degraded sharded evaluation failed: %v", err)
+	}
+	if !res.Approximate {
+		t.Fatalf("expected an approximate result through the shard dispatch, got %+v", res)
+	}
+	if res.Fraction < 0 || res.Fraction > 1 {
+		t.Errorf("fraction out of range: %v", res.Fraction)
+	}
+}
+
+// TestShardedSlowShardHedges routes a scatter over a pool whose shard 0
+// stalls on its first evaluation: with hedging enabled the duplicate
+// dispatch wins and the request completes fast and correct. The
+// instance is deliberately not certain — a false merge needs every
+// shard, so the early-exit cancellation cannot beat the hedge to the
+// stalled shard.
+func TestShardedSlowShardHedges(t *testing.T) {
+	defer faultinject.Reset()
+	q := query.MustParse("R(x | y), S(y | z)")
+	d, err := db.ParseFacts(nil, "R(a | b)\nR(a | c)\nS(b | z1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := match.NewIndex(d)
+	mono, err := plan.CertainIndexed(ix, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := shard.NewPool(d, 2, shard.PoolOptions{Hedge: 2 * time.Millisecond})
+	defer pool.Close()
+	// Wait out the initial builds so the injected stall hits the
+	// evaluation, not the index build.
+	waitReady(t, pool)
+	faultinject.SetWindow("shard.eval.0", 0, 1, func(int) error {
+		time.Sleep(500 * time.Millisecond)
+		return nil
+	})
+	start := time.Now()
+	res, err := plan.CertainIndexedCtx(context.Background(), ix, core.Options{ShardPool: pool})
+	if err != nil {
+		t.Fatalf("hedged scatter: %v", err)
+	}
+	if res.Certain != mono.Certain || res.Certain {
+		t.Fatalf("hedged scatter = %v, monolithic = %v (instance is not certain)", res.Certain, mono.Certain)
+	}
+	if took := time.Since(start); took >= 500*time.Millisecond {
+		t.Errorf("hedged scatter took %v; the duplicate did not win", took)
+	}
+	if st := pool.Stats(); st.HedgeWins < 1 {
+		t.Errorf("no hedge win recorded: %+v", st)
+	}
+}
+
+func waitReady(t *testing.T, p *shard.Pool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Building() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("shards still building after 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"cqa/internal/db"
 	"cqa/internal/faultinject"
 	"cqa/internal/match"
+	"cqa/internal/shard"
 	"cqa/internal/trace"
 )
 
@@ -32,6 +33,52 @@ type Snapshot struct {
 	indexMu sync.Mutex
 	index   atomic.Pointer[match.Index]
 	stats   *IndexStats // shared with the owning store; nil for bare snapshots
+
+	shardMu   sync.Mutex
+	shardPool atomic.Pointer[shard.Pool]
+}
+
+// ShardPool returns the snapshot's shard cluster for the requested
+// fan-out, built on first use and shared by every subsequent request
+// against this snapshot version — the sharded analogue of Index. A
+// request for n <= 1 (sharding disabled) returns nil. Replacing the
+// snapshot (Put) closes the replaced version's pool; requests that
+// already hold it keep completing, because a closed pool degrades to
+// inline execution. Safe for concurrent use.
+func (s *Snapshot) ShardPool(n int, hedge time.Duration) *shard.Pool {
+	if n <= 1 {
+		return nil
+	}
+	if p := s.shardPool.Load(); p != nil {
+		return p
+	}
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	if p := s.shardPool.Load(); p != nil {
+		return p
+	}
+	p := shard.NewPool(s.DB, n, shard.PoolOptions{Hedge: hedge})
+	s.shardPool.Store(p)
+	return p
+}
+
+// ShardStats returns the snapshot's shard-cluster summary; ok is false
+// when no pool was ever built for this snapshot.
+func (s *Snapshot) ShardStats() (shard.Stats, bool) {
+	p := s.shardPool.Load()
+	if p == nil {
+		return shard.Stats{}, false
+	}
+	return p.Stats(), true
+}
+
+// ClosePool shuts down the snapshot's shard cluster, if one was built.
+// Called when the snapshot is replaced or deleted; in-flight requests
+// holding the pool still complete (closed pools execute inline).
+func (s *Snapshot) ClosePool() {
+	if p := s.shardPool.Load(); p != nil {
+		p.Close()
+	}
 }
 
 // Index returns the evaluation index of the snapshot — the match.Index
@@ -148,6 +195,9 @@ func (s *Store) Put(name string, d *db.DB) *Snapshot {
 	snap.Version = 1
 	if prev, ok := s.dbs[name]; ok {
 		snap.Version = prev.Version + 1
+		// Asynchronously: Close drains the old pool's queued tasks, and
+		// the store lock must not wait behind a long evaluation.
+		go prev.ClosePool()
 	}
 	s.dbs[name] = snap
 	return snap
@@ -180,9 +230,43 @@ func (s *Store) Get(name string) (*Snapshot, bool) {
 func (s *Store) Delete(name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.dbs[name]
+	snap, ok := s.dbs[name]
+	if ok {
+		go snap.ClosePool()
+	}
 	delete(s.dbs, name)
 	return ok
+}
+
+// ShardStats aggregates the shard-cluster state across every snapshot
+// that has built a pool: totals for the readiness probe and metrics.
+// Snapshots without a pool (sharding disabled or never requested)
+// contribute nothing.
+type ShardStats struct {
+	Total     int
+	Ready     int
+	Building  int
+	Unhealthy int
+	Hedges    int64
+	HedgeWins int64
+}
+
+// ShardStats sums the per-snapshot pool summaries.
+func (s *Store) ShardStats() ShardStats {
+	var out ShardStats
+	for _, snap := range s.List() {
+		st, ok := snap.ShardStats()
+		if !ok {
+			continue
+		}
+		out.Total += st.Total
+		out.Ready += st.Ready
+		out.Building += st.Building
+		out.Unhealthy += st.Unhealthy
+		out.Hedges += st.Hedges
+		out.HedgeWins += st.HedgeWins
+	}
+	return out
 }
 
 // List returns the current snapshots sorted by name.

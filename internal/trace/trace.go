@@ -49,12 +49,20 @@ const (
 	// StageSampling is the degraded repair-sampling path of a
 	// budget-exhausted coNP evaluation.
 	StageSampling
+	// StageShard is one per-shard evaluation task of the scatter-gather
+	// path: a request evaluated over N shards closes N spans of this
+	// stage (plus one per hedged duplicate), so MaxUs vs the mean span
+	// exposes straggler amplification.
+	StageShard
+	// StageShardIndex is the per-shard block-index build of a sharded
+	// snapshot (the shard-local analogue of StageIndexBuild).
+	StageShardIndex
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"normalize", "compile", "index-build", "purify", "match",
-	"eliminator", "ptime", "conp", "sampling",
+	"eliminator", "ptime", "conp", "sampling", "shard", "shard-index",
 }
 
 // String names the stage as it appears in breakdowns and metrics.
@@ -113,8 +121,11 @@ const RingSize = 256
 
 // stageAgg aggregates all spans of one stage.
 type stageAgg struct {
-	spans    atomic.Int64
-	nanos    atomic.Int64
+	spans atomic.Int64
+	nanos atomic.Int64
+	// maxNanos is the longest single span of the stage (CAS-maintained),
+	// so fan-out stages expose their straggler without per-span storage.
+	maxNanos atomic.Int64
 	counters [numCounters]atomic.Int64
 }
 
@@ -162,6 +173,12 @@ func (sp Span) End() {
 	agg := &t.stages[sp.stage]
 	agg.spans.Add(1)
 	agg.nanos.Add(int64(dur))
+	for {
+		max := agg.maxNanos.Load()
+		if int64(dur) <= max || agg.maxNanos.CompareAndSwap(max, int64(dur)) {
+			break
+		}
+	}
 	t.record(sp.stage, sp.start.Sub(t.start), dur)
 }
 
@@ -250,6 +267,9 @@ type StageStats struct {
 	Spans int64 `json:"spans"`
 	// Micros is the total duration across those spans.
 	Micros int64 `json:"us"`
+	// MaxUs is the longest single span of the stage; on fan-out stages
+	// (shard) the gap between MaxUs and Micros/Spans is the straggler.
+	MaxUs int64 `json:"maxUs,omitempty"`
 	// Counters holds the non-zero effort counters of the stage.
 	Counters map[string]int64 `json:"counters,omitempty"`
 }
@@ -268,6 +288,7 @@ func (t *Tracer) Breakdown() []StageStats {
 			Stage:  s.String(),
 			Spans:  agg.spans.Load(),
 			Micros: agg.nanos.Load() / int64(time.Microsecond),
+			MaxUs:  agg.maxNanos.Load() / int64(time.Microsecond),
 		}
 		for c := Counter(0); c < numCounters; c++ {
 			if v := agg.counters[c].Load(); v != 0 {
