@@ -28,7 +28,7 @@ race:
 check: build test bench-smoke fuzz-smoke cover
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
-	$(GO) test -race ./internal/server ./internal/plancache ./internal/store ./internal/core ./internal/db ./internal/rewrite ./internal/trace ./internal/shard
+	$(GO) test -race ./internal/server ./internal/plancache ./internal/store ./internal/core ./internal/db ./internal/rewrite ./internal/trace ./internal/shard ./internal/sym ./internal/colstore
 
 # Chaos gate: the fault-injection, cancellation, deadline, budget,
 # shedding, and goroutine-leak suites under the race detector. This is
@@ -73,12 +73,14 @@ vet:
 # Coverage with per-package floors on the packages this repo's
 # correctness leans on hardest: the trace layer (observability must not
 # rot — it is how regressions get diagnosed), the FO rewriting engine,
-# the coNP solver, and the shard engine (a partitioning bug silently
-# corrupts answers, so its tests must not erode). Floors are a few
-# points under current coverage so they catch deleted tests, not noise.
+# the coNP solver, the shard engine (a partitioning bug silently
+# corrupts answers, so its tests must not erode), and the interned
+# columnar storage layers (sym, colstore) the zero-alloc hot path sits
+# on. Floors are a few points under current coverage so they catch
+# deleted tests, not noise.
 cover:
 	$(GO) test -cover ./internal/... | tee cover.out
-	@status=0; for spec in trace:90 rewrite:70 conp:75 shard:80; do \
+	@status=0; for spec in trace:90 rewrite:70 conp:75 shard:80 sym:90 colstore:90; do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		pct=$$(awk -v p="cqa/internal/$$pkg" '$$2 == p { for (i=1;i<=NF;i++) if ($$i ~ /%$$/) { sub(/%/,"",$$i); print $$i; exit } }' cover.out); \
 		if [ -z "$$pct" ]; then echo "cover: no coverage reported for internal/$$pkg"; status=1; \

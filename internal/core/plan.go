@@ -240,6 +240,23 @@ func (p *Plan) CertainAnswersIndexedCtx(ctx context.Context, free []query.Var, i
 	}
 	fastFO := p.Engine(opts) == EngineFO && !p.HasCycle && p.Elim != nil
 
+	// Batched block sweep (fast FO plans whose free variables read off
+	// the top atom's key): all candidates are derived and decided in
+	// one pass over the top relation's column spans, sharing one memo
+	// and one evaluation state — no join enumeration, no per-candidate
+	// eliminator walk. Answers come back in the canonical binding-key
+	// order, the same order the sharded merge produces. Irregular data
+	// falls through to the row-oriented enumerate-then-check path.
+	if fastFO && p.Elim.SweepableFree(free) {
+		if out, ok, err := p.Elim.SweepSpans(ix, nil, free, chk); ok {
+			if err != nil {
+				return nil, err
+			}
+			rewrite.SortValuationsByKey(out)
+			return out, nil
+		}
+	}
+
 	candidates, err := p.enumerateCandidates(ix, free, opts, chk)
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 	"cqa/internal/evalctx"
 	"cqa/internal/match"
 	"cqa/internal/query"
+	"cqa/internal/rewrite"
 	"cqa/internal/shard"
 )
 
@@ -66,6 +67,15 @@ func (p *Plan) certainSharded(ctx context.Context, ix *match.Index, opts Options
 	if engine == EngineFO && !p.HasCycle && p.Elim != nil {
 		topRel := p.Elim.Order()[0].Rel.Name
 		certain, err := p.scatterBool(ctx, pool, chk, func(v *shard.View, schk *evalctx.Checker) (bool, error) {
+			// Span path first: the shard's columnar block indices feed
+			// the interned walk. Irregular data (no spans, or a view
+			// that cannot decide) falls back to the row-oriented walk
+			// over the shard's block partition.
+			if spans, sok := v.SpansOf(topRel); sok {
+				if certain, iok, err := p.Elim.CertainOverSpans(ix, spans, schk); iok {
+					return certain, err
+				}
+			}
 			return p.Elim.CertainOverBlocks(ix, v.BlocksOf(topRel), schk)
 		})
 		if err != nil {
@@ -145,6 +155,11 @@ func (p *Plan) certainAnswersSharded(ctx context.Context, free []query.Var, ix *
 				defer wg.Done()
 				parts[id], errs[id] = shard.Do(ctx, pool, id, chk,
 					func(v *shard.View, schk *evalctx.Checker) ([]query.Valuation, error) {
+						if spans, sok := v.SpansOf(topRel); sok {
+							if out, iok, err := p.Elim.SweepSpans(ix, spans, free, schk); iok {
+								return out, err
+							}
+						}
 						return p.Elim.SweepBlocks(ix, v.BlocksOf(topRel), free, schk)
 					})
 			}(id)
@@ -159,23 +174,11 @@ func (p *Plan) certainAnswersSharded(ctx context.Context, free []query.Var, ix *
 		for _, part := range parts {
 			total += len(part)
 		}
-		// Decorate-sort-undecorate: Key() builds a string, so compute it
-		// once per answer rather than once per comparison.
-		type keyed struct {
-			key string
-			val query.Valuation
-		}
-		all := make([]keyed, 0, total)
+		out := make([]query.Valuation, 0, total)
 		for _, part := range parts {
-			for _, v := range part {
-				all = append(all, keyed{key: v.Key(), val: v})
-			}
+			out = append(out, part...)
 		}
-		sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
-		out := make([]query.Valuation, len(all))
-		for i, k := range all {
-			out[i] = k.val
-		}
+		rewrite.SortValuationsByKey(out)
 		return out, nil
 	}
 

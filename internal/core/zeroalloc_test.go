@@ -1,0 +1,46 @@
+//go:build !race
+
+// Zero-allocation pin for the full serving hot path: Plan →
+// CertainIndexed → interned eliminator, with the default (nil) checker
+// and no sharding. Excluded under the race detector, whose
+// instrumentation allocates.
+
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/match"
+)
+
+// TestWarmCertainIndexedZeroAlloc: the end-to-end Boolean FO request
+// path allocates nothing once the snapshot structures are warm. This
+// is the property the bench-smoke gate checks in BENCH_eval.json
+// (warm "certain" rows must report 0 allocs/op).
+func TestWarmCertainIndexedZeroAlloc(t *testing.T) {
+	p, err := CompileString("R(x | y), S(y | z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.ParseFacts(nil, `
+		R(a | b)
+		R(a | c)
+		R(d | b)
+		S(b | t)
+		S(c | t)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := match.NewIndex(d)
+	if _, err := p.CertainIndexed(ix, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	allocs := testing.AllocsPerRun(500, func() { p.CertainIndexed(ix, Options{}) })
+	if allocs != 0 {
+		t.Fatalf("warm CertainIndexed allocates %.1f/op, want 0", allocs)
+	}
+}

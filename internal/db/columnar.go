@@ -1,0 +1,191 @@
+package db
+
+import (
+	"sort"
+	"sync"
+
+	"cqa/internal/colstore"
+	"cqa/internal/query"
+	"cqa/internal/schema"
+	"cqa/internal/sym"
+)
+
+// ColRel is the columnar view of one regular relation: the
+// struct-of-arrays storage plus the row-oriented blocks aligned with
+// its block order, so span indices translate to Block values (and their
+// string IDs) without re-deriving anything.
+type ColRel struct {
+	// Rel is the column store: key-sorted blocks as contiguous row
+	// spans over flat interned columns.
+	Rel *colstore.Rel
+	// Blocks are the same blocks in the same order as Rel's spans —
+	// Blocks[b] holds the facts of span b. Shared with the row index.
+	Blocks []Block
+	// Relation is the (single) schema of every fact stored.
+	Relation schema.Relation
+}
+
+// ColDB is the columnar view of a database: one symbol table interning
+// every constant plus one ColRel per regular relation. A relation is
+// regular when all its facts carry the same schema.Relation — the
+// inferred-signature parser can produce same-name facts with different
+// shapes, and such relations stay on the row-oriented path rather than
+// forcing a lossy columnar encoding. Built once per DB (see Columnar)
+// and immutable afterwards; safe for concurrent use.
+type ColDB struct {
+	Syms *sym.Table
+
+	rels      map[string]*ColRel
+	irregular map[string]bool
+	names     []string // regular relation names, sorted
+
+	// progs caches evaluation programs compiled against this view,
+	// keyed by the compiled query artifact (e.g. *rewrite.Eliminator).
+	// The view is per-DB and plans are cached per query, so the map
+	// stays small; it lives here because program IDs are only valid
+	// against this view's symbol table and block order.
+	progs sync.Map
+}
+
+// Rel returns the columnar relation. ok is false when the relation is
+// irregular (mixed schemas under one name) — callers must fall back to
+// the row-oriented path. A relation with no facts returns (nil, true).
+func (c *ColDB) Rel(name string) (*ColRel, bool) {
+	if c.irregular[name] {
+		return nil, false
+	}
+	return c.rels[name], true
+}
+
+// RelNames returns the regular relation names, sorted. Shared; do not
+// modify.
+func (c *ColDB) RelNames() []string { return c.names }
+
+// Progs returns the per-view program cache.
+func (c *ColDB) Progs() *sync.Map { return &c.progs }
+
+// Columnar returns the memoized columnar view, building it on first
+// use. Like index(), racing builders may construct the view twice; the
+// build is deterministic (interning order follows fact insertion
+// order), so either result is identical and readers stay consistent.
+// ResetCaches drops the view along with the row index.
+func (d *DB) Columnar() *ColDB {
+	if c := d.colMemo.Load(); c != nil {
+		return c
+	}
+	c := d.buildColumnar()
+	d.colMemo.CompareAndSwap(nil, c)
+	return d.colMemo.Load()
+}
+
+func (d *DB) buildColumnar() *ColDB {
+	ix := d.index()
+	c := &ColDB{
+		Syms:      sym.NewTable(),
+		rels:      make(map[string]*ColRel, len(ix.relBlocks)),
+		irregular: make(map[string]bool),
+	}
+	// Intern every constant in insertion order first, so the ID
+	// assignment is a pure function of the fact sequence regardless of
+	// relation-map iteration order below.
+	for _, f := range d.facts {
+		for _, a := range f.Args {
+			c.Syms.Intern(string(a))
+		}
+	}
+	for name, blocks := range ix.relBlocks {
+		facts := ix.relFacts[name]
+		rel := facts[0].Rel
+		regular := true
+		for _, f := range facts {
+			if f.Rel != rel {
+				regular = false
+				break
+			}
+		}
+		if !regular {
+			c.irregular[name] = true
+			continue
+		}
+		// Key-sort the blocks by interned key tuple: a deterministic
+		// layout that keeps equal prefixes adjacent. Keys are unique
+		// per relation, so the order is total.
+		ord := make([]int, len(blocks))
+		for i := range ord {
+			ord[i] = i
+		}
+		keyOf := func(i int) []query.Const { return blocks[i].Facts[0].Key() }
+		sort.Slice(ord, func(a, b int) bool {
+			ka, kb := keyOf(ord[a]), keyOf(ord[b])
+			for i := range ka {
+				ia := c.Syms.Intern(string(ka[i]))
+				ib := c.Syms.Intern(string(kb[i]))
+				if ia != ib {
+					return ia < ib
+				}
+			}
+			return false
+		})
+		b := colstore.NewBuilder(name, rel.Arity, rel.KeyLen)
+		aligned := make([]Block, 0, len(blocks))
+		row := make([]sym.ID, rel.Arity)
+		for _, bi := range ord {
+			blk := blocks[bi]
+			b.StartBlock()
+			for _, f := range blk.Facts {
+				for i, a := range f.Args {
+					row[i] = c.Syms.Intern(string(a))
+				}
+				b.AddRow(row)
+			}
+			aligned = append(aligned, blk)
+		}
+		c.rels[name] = &ColRel{Rel: b.Build(), Blocks: aligned, Relation: rel}
+	}
+	c.names = make([]string, 0, len(c.rels))
+	for name := range c.rels {
+		c.names = append(c.names, name)
+	}
+	sort.Strings(c.names)
+	return c
+}
+
+// maxProbeKey bounds the stack buffer of the interned ground-key probe;
+// longer keys (arity > 8 key positions) fall back to the string path.
+const maxProbeKey = 8
+
+// blockByKey is the interned ground-key probe. The third result
+// reports whether the view could decide the probe at all: false sends
+// the caller to the string-keyed path (irregular relation, oversized
+// key), while a decided miss — including a constant the database never
+// mentions — is final.
+func (c *ColDB) blockByKey(relName string, key []query.Const) (Block, bool, bool) {
+	cr, regular := c.Rel(relName)
+	if !regular {
+		return Block{}, false, false
+	}
+	if cr == nil {
+		return Block{}, false, true
+	}
+	if cr.Relation.KeyLen != len(key) {
+		// No block of this relation has a key of that length; the miss
+		// is final.
+		return Block{}, false, true
+	}
+	if len(key) > maxProbeKey {
+		return Block{}, false, false
+	}
+	var buf [maxProbeKey]sym.ID
+	for i, k := range key {
+		id, ok := c.Syms.Lookup(string(k))
+		if !ok {
+			return Block{}, false, true
+		}
+		buf[i] = id
+	}
+	b, ok := cr.Rel.BlockByKey(buf[:len(key)])
+	if !ok {
+		return Block{}, false, true
+	}
+	return cr.Blocks[b], true, true
+}

@@ -1,0 +1,170 @@
+package db
+
+import (
+	"fmt"
+	"testing"
+
+	"cqa/internal/query"
+	"cqa/internal/schema"
+	"cqa/internal/sym"
+)
+
+func colTestDB() *DB {
+	r := schema.Relation{Name: "R", Arity: 2, KeyLen: 1}
+	s := schema.Relation{Name: "S", Arity: 3, KeyLen: 2}
+	d := New()
+	for i := 0; i < 20; i++ {
+		k := query.Const(fmt.Sprintf("k%d", i))
+		d.Add(NewFact(r, k, query.Const(fmt.Sprintf("v%d", i))))
+		if i%3 == 0 {
+			d.Add(NewFact(r, k, query.Const(fmt.Sprintf("w%d", i))))
+		}
+		d.Add(NewFact(s, k, "a", query.Const(fmt.Sprintf("v%d", i))))
+	}
+	return d
+}
+
+// TestColumnarMatchesRowView checks that the columnar view stores
+// exactly the row view's blocks: same relations, same block multiset,
+// spans aligned with the Blocks slice, and every stored argument
+// printing back to the original constant.
+func TestColumnarMatchesRowView(t *testing.T) {
+	d := colTestDB()
+	c := d.Columnar()
+	if got, want := len(c.RelNames()), 2; got != want {
+		t.Fatalf("RelNames = %v, want 2 relations", c.RelNames())
+	}
+	for _, name := range c.RelNames() {
+		cr, ok := c.Rel(name)
+		if !ok || cr == nil {
+			t.Fatalf("Rel(%q) = (%v, %v), want regular", name, cr, ok)
+		}
+		rowBlocks := d.BlocksOf(name)
+		if cr.Rel.NumBlocks() != len(rowBlocks) || len(cr.Blocks) != len(rowBlocks) {
+			t.Fatalf("%s: %d columnar blocks vs %d row blocks", name, cr.Rel.NumBlocks(), len(rowBlocks))
+		}
+		seen := make(map[string]bool)
+		for b := int32(0); b < int32(cr.Rel.NumBlocks()); b++ {
+			lo, hi := cr.Rel.Span(b)
+			blk := cr.Blocks[b]
+			if int(hi-lo) != len(blk.Facts) {
+				t.Fatalf("%s block %d: span has %d rows, aligned block has %d facts", name, b, hi-lo, len(blk.Facts))
+			}
+			seen[blk.ID] = true
+			for i, f := range blk.Facts {
+				for col, a := range f.Args {
+					got := c.Syms.String(cr.Rel.At(col, lo+int32(i)))
+					if got != string(a) {
+						t.Fatalf("%s block %d row %d col %d: %q != %q", name, b, i, col, got, a)
+					}
+				}
+			}
+		}
+		for _, rb := range rowBlocks {
+			if !seen[rb.ID] {
+				t.Fatalf("%s: row block %s missing from columnar view", name, rb.ID)
+			}
+		}
+	}
+}
+
+// TestColumnarBlockByKey compares the interned probe against the
+// string-keyed path on every block key plus misses.
+func TestColumnarBlockByKey(t *testing.T) {
+	d := colTestDB()
+	fresh := colTestDB() // never builds a columnar view: the string path
+	d.Columnar()
+	for _, b := range fresh.Blocks() {
+		key := b.Facts[0].Key()
+		name := b.Facts[0].Rel.Name
+		got, ok := d.BlockByKey(name, key)
+		want, wok := fresh.BlockByKey(name, key)
+		if ok != wok || got.ID != want.ID || len(got.Facts) != len(want.Facts) {
+			t.Fatalf("BlockByKey(%s, %v): columnar (%v, %v) vs row (%v, %v)", name, key, got.ID, ok, want.ID, wok)
+		}
+	}
+	if _, ok := d.BlockByKey("R", []query.Const{"nope"}); ok {
+		t.Fatal("columnar probe found a block for an unknown constant")
+	}
+	if _, ok := d.BlockByKey("R", []query.Const{"a"}); ok {
+		t.Fatal("columnar probe found a block for a non-key constant")
+	}
+	if _, ok := d.BlockByKey("R", []query.Const{"k0", "k1"}); ok {
+		t.Fatal("columnar probe matched a key of the wrong length")
+	}
+	if _, ok := d.BlockByKey("Q", []query.Const{"k0"}); ok {
+		t.Fatal("columnar probe found a block of an absent relation")
+	}
+}
+
+// TestColumnarIrregularRelation: two schemas under one name keep the
+// relation on the row path, and BlockByKey still answers through the
+// string fallback.
+func TestColumnarIrregularRelation(t *testing.T) {
+	d := New()
+	d.Add(NewFact(schema.Relation{Name: "R", Arity: 2, KeyLen: 1}, "a", "b"))
+	d.Add(NewFact(schema.Relation{Name: "R", Arity: 3, KeyLen: 1}, "c", "d", "e"))
+	d.Add(NewFact(schema.Relation{Name: "S", Arity: 2, KeyLen: 1}, "a", "b"))
+	c := d.Columnar()
+	if _, ok := c.Rel("R"); ok {
+		t.Fatal("mixed-schema relation R reported as regular")
+	}
+	if cr, ok := c.Rel("S"); !ok || cr == nil {
+		t.Fatal("regular relation S not in the columnar view")
+	}
+	if got := c.RelNames(); len(got) != 1 || got[0] != "S" {
+		t.Fatalf("RelNames = %v, want [S]", got)
+	}
+	b, ok := d.BlockByKey("R", []query.Const{"a"})
+	if !ok || len(b.Facts) != 1 {
+		t.Fatalf("string-fallback BlockByKey(R, a) = (%v, %v)", b, ok)
+	}
+	// Absent relation: decided miss either way.
+	if _, ok := c.Rel("T"); !ok {
+		t.Fatal("absent relation should be regular (nil, true)")
+	}
+}
+
+// TestColumnarInvalidation: Add drops the view; the rebuild sees the
+// new fact.
+func TestColumnarInvalidation(t *testing.T) {
+	d := New()
+	rel := schema.Relation{Name: "R", Arity: 2, KeyLen: 1}
+	d.Add(NewFact(rel, "a", "b"))
+	c1 := d.Columnar()
+	if cr, _ := c1.Rel("R"); cr.Rel.Rows() != 1 {
+		t.Fatalf("view has %d rows, want 1", cr.Rel.Rows())
+	}
+	d.Add(NewFact(rel, "a", "c"))
+	c2 := d.Columnar()
+	if c2 == c1 {
+		t.Fatal("Add did not invalidate the columnar view")
+	}
+	cr, _ := c2.Rel("R")
+	if cr.Rel.Rows() != 2 || cr.Rel.NumBlocks() != 1 {
+		t.Fatalf("rebuilt view: rows=%d blocks=%d, want 2 rows in 1 block", cr.Rel.Rows(), cr.Rel.NumBlocks())
+	}
+}
+
+// TestColumnarDeterministicLayout: two identically loaded databases
+// produce identical symbol assignments and block orders.
+func TestColumnarDeterministicLayout(t *testing.T) {
+	c1, c2 := colTestDB().Columnar(), colTestDB().Columnar()
+	if c1.Syms.Len() != c2.Syms.Len() {
+		t.Fatalf("symbol counts differ: %d vs %d", c1.Syms.Len(), c2.Syms.Len())
+	}
+	for id := 0; id < c1.Syms.Len(); id++ {
+		if c1.Syms.String(sym.ID(id)) != c2.Syms.String(sym.ID(id)) {
+			t.Fatalf("symbol %d differs: %q vs %q", id, c1.Syms.String(sym.ID(id)), c2.Syms.String(sym.ID(id)))
+		}
+	}
+	for _, name := range c1.RelNames() {
+		r1, _ := c1.Rel(name)
+		r2, _ := c2.Rel(name)
+		for b := range r1.Blocks {
+			if r1.Blocks[b].ID != r2.Blocks[b].ID {
+				t.Fatalf("%s block %d differs: %s vs %s", name, b, r1.Blocks[b].ID, r2.Blocks[b].ID)
+			}
+		}
+	}
+}

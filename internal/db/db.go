@@ -137,6 +137,7 @@ type DB struct {
 	byBlock map[string][]int // block ID -> fact positions
 	order   []string         // block IDs in first-seen order
 	memo    atomic.Pointer[dbIndex]
+	colMemo atomic.Pointer[ColDB]
 }
 
 // dbIndex holds the derived read-only lookup structures. It is built in
@@ -206,10 +207,14 @@ func (d *DB) buildIndex() *dbIndex {
 	return ix
 }
 
-// ResetCaches drops the memoized lookup structures; they rebuild on next
-// use. Add calls it automatically — it is exported only so cold-path
-// benchmarks can measure the first-request cost of an index build.
-func (d *DB) ResetCaches() { d.memo.Store(nil) }
+// ResetCaches drops the memoized lookup structures — the row index and
+// the columnar view both rebuild on next use. Add calls it
+// automatically — it is exported only so cold-path benchmarks can
+// measure the first-request cost of an index build.
+func (d *DB) ResetCaches() {
+	d.memo.Store(nil)
+	d.colMemo.Store(nil)
+}
 
 // New returns an empty uncertain database.
 func New() *DB {
@@ -309,6 +314,16 @@ func (d *DB) BlockOf(f Fact) Block {
 // fully instantiated, the one candidate block is hash-looked-up instead
 // of scanning every block of the relation.
 func (d *DB) BlockByKey(relName string, key []query.Const) (Block, bool) {
+	// When the columnar view is already built (the serving hot path
+	// warms it per snapshot), probe its interned key table instead of
+	// building a string — zero allocations on hit and miss alike. The
+	// view is only consulted, never built here, so row-only callers
+	// (ptime residues, purification) never pay for a columnar build.
+	if c := d.colMemo.Load(); c != nil {
+		if blk, ok, decided := c.blockByKey(relName, key); decided {
+			return blk, ok
+		}
+	}
 	var b strings.Builder
 	b.WriteString(relName)
 	for _, c := range key {

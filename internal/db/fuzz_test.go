@@ -29,5 +29,24 @@ func FuzzParseFact(f *testing.F) {
 		if !fact.Equal(back) {
 			t.Fatalf("round trip changed fact: %q -> %q -> %q", s, fact.String(), back.String())
 		}
+		// Parse → intern → print round trip: the columnar view of a
+		// database holding the fact must intern every constant so it
+		// prints back identically, and the interned ground-key probe
+		// must find the fact's block.
+		d := FromFacts(fact)
+		c := d.Columnar()
+		for _, a := range fact.Args {
+			id, ok := c.Syms.Lookup(string(a))
+			if !ok {
+				t.Fatalf("constant %q of %q not interned", a, fact.String())
+			}
+			if got := c.Syms.String(id); got != string(a) {
+				t.Fatalf("intern round trip changed %q to %q", a, got)
+			}
+		}
+		blk, ok := d.BlockByKey(fact.Rel.Name, fact.Key())
+		if !ok || len(blk.Facts) != 1 || !blk.Facts[0].Equal(fact) {
+			t.Fatalf("columnar BlockByKey lost %q: ok=%v block=%v", fact.String(), ok, blk)
+		}
 	})
 }

@@ -45,13 +45,16 @@ type EvalReport struct {
 // bench-smoke instead of silently shipping stale numbers.
 const (
 	evalQueryText = "R(x | y), S(y | z)"
-	evalNote      = "certain: one CERTAINTY decision per op on a falsified chain instance (full block sweep); " +
-		"answers: certain answers of x per op. warm reuses the memoized db index across ops; " +
-		"cold drops it every op via ResetCaches. answers-flat/answers-sharded: certain answers " +
-		"of x on a large certain chain — the monolithic enumerate-then-check sweep vs the " +
-		"key-partitioned scatter-gather (per-shard block sweeps merged by sorted key) at " +
-		"increasing shard counts; the pool is built and warmed outside the timed loop, as the " +
-		"serving layer caches it per snapshot version."
+	evalNote      = "certain: one CERTAINTY decision per op on a falsified chain instance (full block sweep). " +
+		"warm evaluates against a pre-built index and the memoized columnar view — the serving hot " +
+		"path, which runs the interned zero-allocation walk (allocs_per_op must be 0); cold drops " +
+		"every memoized structure per op via ResetCaches, so each op pays the index, block, and " +
+		"columnar builds. certain-row: the same warm instance decided by the row-oriented reference " +
+		"walk (CertainOverBlocks) — the columnar-vs-row comparison at equal instance sizes. " +
+		"answers-flat/answers-sharded: certain answers of x on a large certain chain — the " +
+		"monolithic sweep vs the key-partitioned scatter-gather (per-shard columnar span sweeps " +
+		"merged by sorted key) at increasing shard counts; the pool is built and warmed outside " +
+		"the timed loop, as the serving layer caches it per snapshot version."
 )
 
 // evalShardSweep is the fan-outs of the sharded answers scaling rows.
@@ -67,11 +70,23 @@ func evalShardChainN(quick bool) int {
 }
 
 // evalSizes returns the block-count sweep of the certain benchmarks.
+// The full sweep ends at one million blocks — the scale the interned
+// columnar path makes routine (the row-era harness topped out at 100k).
 func evalSizes(quick bool) []int {
 	if quick {
 		return []int{1000, 10000}
 	}
-	return []int{1000, 10000, 100000}
+	return []int{1000, 10000, 100000, 1000000}
+}
+
+// evalRowSizes returns the sizes of the certain-row comparison rows:
+// the row-oriented reference walk on the same warm instances, so the
+// columnar speedup is auditable from the JSON alone.
+func evalRowSizes(quick bool) []int {
+	if quick {
+		return []int{10000}
+	}
+	return []int{10000, 100000}
 }
 
 // prePRBaseline records the same workloads measured immediately before
@@ -83,7 +98,12 @@ var prePRBaseline = map[string]string{
 	"certain/10k/warm":  "23.27 s/op, 17.07 GB/op, 100.4M allocs/op",
 	"certain/100k/warm": "not feasible (quadratic; ~40 min extrapolated)",
 	"answers/500-chain": "216.7 ms/op",
-	"measured_on":       "Intel Xeon @ 2.10GHz, go1.x, same harness (BenchmarkCertainAcyclic*, BenchmarkCertainAnswersPool)",
+	// The row-walk harness immediately before the columnar interned
+	// path landed (per-op index build inside the warm loop, string memo
+	// keys, map valuations).
+	"pre_columnar/certain/10k/warm":  "7.77 ms/op, 1.7 MB/op, 64.1k allocs/op",
+	"pre_columnar/certain/100k/warm": "114.8 ms/op, 15.8 MB/op, 649.5k allocs/op",
+	"measured_on":                    "Intel Xeon @ 2.10GHz, go1.x, same harness (BenchmarkCertainAcyclic*, BenchmarkCertainAnswersPool)",
 }
 
 // evalFalsifiedChainDB mirrors the repository-root falsifiedChainDB
@@ -157,13 +177,14 @@ func RunEval(quick bool) (*EvalReport, error) {
 	}
 	for _, blocks := range sizes {
 		d := evalFalsifiedChainDB(q, blocks)
-		if res, err := plan.Certain(d, core.Options{}); err != nil || res.Certain {
+		ix := match.NewIndex(d)
+		if res, err := plan.CertainIndexed(ix, core.Options{}); err != nil || res.Certain {
 			return nil, fmt.Errorf("experiments: eval instance (%d blocks) not falsified: %v, %v", blocks, res.Certain, err)
 		}
 		warm := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := plan.Certain(d, core.Options{}); err != nil {
+				if _, err := plan.CertainIndexed(ix, core.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -179,6 +200,25 @@ func RunEval(quick bool) (*EvalReport, error) {
 			}
 		})
 		record("certain", blocks, "cold", 0, 0, cold)
+	}
+
+	// The row-walk comparison rows: same warm instances, decided by the
+	// row-oriented reference walk over the top relation's blocks.
+	topRel := plan.Elim.Order()[0].Rel.Name
+	for _, blocks := range evalRowSizes(quick) {
+		d := evalFalsifiedChainDB(q, blocks)
+		ix := match.NewIndex(d)
+		rowBlocks := d.BlocksOf(topRel)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				certain, err := plan.Elim.CertainOverBlocks(ix, rowBlocks, nil)
+				if err != nil || certain {
+					b.Fatalf("row walk on falsified instance: %v, %v", certain, err)
+				}
+			}
+		})
+		record("certain-row", blocks, "warm", 0, 0, r)
 	}
 
 	answersBlocks := 1000
@@ -288,6 +328,9 @@ func ValidateEvalJSON(path string, quick bool) error {
 			missing[fmt.Sprintf("certain/%d/%s", blocks, index)] = true
 		}
 	}
+	for _, blocks := range evalRowSizes(quick) {
+		missing[fmt.Sprintf("certain-row/%d/warm", blocks)] = true
+	}
 	answersSeq, answersPool := false, false
 	shardMissing := map[int]bool{}
 	for _, k := range evalShardSweep {
@@ -301,6 +344,15 @@ func ValidateEvalJSON(path string, quick bool) error {
 		switch res.Name {
 		case "certain":
 			delete(missing, fmt.Sprintf("certain/%d/%s", res.Blocks, res.Index))
+			// The allocs/op gate of the interned hot path: a warm FO
+			// decision runs entirely on cached evaluation state, so any
+			// allocation is a regression.
+			if res.Index == "warm" && res.AllocsPerOp != 0 {
+				return fmt.Errorf("%s: results[%d] certain/%d/warm reports %d allocs/op; the interned hot path must not allocate (regenerate with -evaljson)",
+					path, i, res.Blocks, res.AllocsPerOp)
+			}
+		case "certain-row":
+			delete(missing, fmt.Sprintf("certain-row/%d/%s", res.Blocks, res.Index))
 		case "answers":
 			if res.Workers == 1 {
 				answersSeq = true

@@ -29,10 +29,18 @@ func NewIndex(d *db.DB) *Index {
 
 // candidates returns the facts that could match the atom under the current
 // valuation: the block (one hash probe) when the key is fully bound,
-// otherwise all facts of the relation.
+// otherwise all facts of the relation. The key buffer lives on the
+// stack for ordinary key widths — the probe itself does not retain it —
+// so the join's per-atom probes stay allocation-free.
 func (ix *Index) candidates(a query.Atom, val query.Valuation) []db.Fact {
 	keyBound := true
-	keyArgs := make([]query.Const, a.Rel.KeyLen)
+	var buf [8]query.Const
+	var keyArgs []query.Const
+	if a.Rel.KeyLen <= len(buf) {
+		keyArgs = buf[:a.Rel.KeyLen]
+	} else {
+		keyArgs = make([]query.Const, a.Rel.KeyLen)
+	}
 	for i, t := range a.KeyArgs() {
 		c, ok := val.Apply(t)
 		if !ok {

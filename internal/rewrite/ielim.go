@@ -1,0 +1,657 @@
+package rewrite
+
+// The interned evaluation path: the Lemma 10 walk over the columnar
+// view of the database (db.ColDB / colstore.Rel) instead of the
+// row-oriented []Fact blocks. Everything the row walk does with strings
+// and maps happens here on machine words:
+//
+//   - constants are sym.ID words interned once per database,
+//   - a valuation is a flat []sym.ID indexed by variable slot with an
+//     explicit undo stack,
+//   - a block is a contiguous row span over flat columns, probed by
+//     ground key through an open-addressing table,
+//   - the memo table is epoch-tagged open addressing over uint32-coded
+//     keys in a reusable arena — no per-evaluation map, no clearing.
+//
+// Evaluation state is cached per Eliminator (one warm state in an
+// atomic slot, overflow in a sync.Pool), so the steady-state walk does
+// not allocate at all; testing.AllocsPerRun pins this in
+// zeroalloc_test.go. Queries over irregular relations (mixed schemas
+// under one name) compile to a prog with ok=false and stay on the row
+// path.
+
+import (
+	"sort"
+
+	"cqa/internal/db"
+	"cqa/internal/evalctx"
+	"cqa/internal/match"
+	"cqa/internal/query"
+	"cqa/internal/sym"
+	"cqa/internal/trace"
+)
+
+// iterm is one argument position of a compiled atom: a variable slot,
+// or an interned constant when slot < 0.
+type iterm struct {
+	slot int32
+	id   sym.ID
+}
+
+// ilevel is one level of the interned walk: the columnar relation of
+// the atom (nil when the database has no facts for it), the key and
+// non-key patterns, and the memo-relevant slots.
+type ilevel struct {
+	rel      *db.ColRel
+	key      []iterm
+	nonkey   []iterm
+	relevant []int32
+}
+
+// iprog is an Eliminator compiled against one columnar view. ok is
+// false when some atom's relation is irregular in the view (or its
+// stored schema differs from the atom's) — the row path decides those.
+type iprog struct {
+	ok     bool
+	levels []ilevel
+	maxKey int
+}
+
+// prog returns the program of this eliminator against the view,
+// compiling and caching it on first use. The cache lives on the view
+// (its IDs are only valid there); racing compilers agree via
+// LoadOrStore.
+func (e *Eliminator) prog(c *db.ColDB) *iprog {
+	if p, ok := c.Progs().Load(e); ok {
+		return p.(*iprog)
+	}
+	p, _ := c.Progs().LoadOrStore(e, e.compileInterned(c))
+	return p.(*iprog)
+}
+
+func (e *Eliminator) compileInterned(c *db.ColDB) *iprog {
+	p := &iprog{ok: true, levels: make([]ilevel, len(e.order))}
+	for li, a := range e.order {
+		cr, regular := c.Rel(a.Rel.Name)
+		if !regular || (cr != nil && cr.Relation != a.Rel) {
+			p.ok = false
+			return p
+		}
+		terms := func(ts []query.Term) []iterm {
+			out := make([]iterm, len(ts))
+			for i, t := range ts {
+				if t.IsConst() {
+					// Intern, not Lookup: a constant the database
+					// never mentions gets a fresh ID occurring in no
+					// column, so unification against it fails exactly
+					// like the string comparison would.
+					out[i] = iterm{slot: -1, id: c.Syms.Intern(string(t.Const()))}
+				} else {
+					out[i] = iterm{slot: e.varSlot[t.Var()]}
+				}
+			}
+			return out
+		}
+		lv := &p.levels[li]
+		lv.rel = cr
+		lv.key = terms(a.KeyArgs())
+		lv.nonkey = terms(a.NonKeyArgs())
+		lv.relevant = e.relevantSlots[li]
+		if len(lv.key) > p.maxKey {
+			p.maxKey = len(lv.key)
+		}
+	}
+	return p
+}
+
+// imemoSlot is one entry of the epoch-tagged memo table; off/n locate
+// the coded key in the arena.
+type imemoSlot struct {
+	epoch uint32
+	hash  uint32
+	off   uint32
+	n     uint16
+	val   bool
+}
+
+// imemo is the interned memo table: open addressing with linear
+// probing, entries valid only for the current epoch. Starting a new
+// evaluation bumps the epoch instead of clearing anything, and the key
+// arena resets to length zero — steady state reuses both backing
+// arrays without allocating.
+type imemo struct {
+	slots []imemoSlot
+	keys  []uint32
+	epoch uint32
+	live  int
+}
+
+func (m *imemo) reset() {
+	m.epoch++
+	if m.epoch == 0 {
+		// Epoch wrap: stale slots from 2^32 evaluations ago would read
+		// as current; clear once and continue.
+		for i := range m.slots {
+			m.slots[i] = imemoSlot{}
+		}
+		m.epoch = 1
+	}
+	m.keys = m.keys[:0]
+	m.live = 0
+}
+
+func (m *imemo) lookup(key []uint32, hash uint32) (val, ok bool) {
+	if len(m.slots) == 0 {
+		return false, false
+	}
+	mask := uint32(len(m.slots) - 1)
+	for i := hash & mask; ; i = (i + 1) & mask {
+		s := &m.slots[i]
+		if s.epoch != m.epoch {
+			return false, false
+		}
+		if s.hash == hash && int(s.n) == len(key) && wordsEqual(m.keys[s.off:s.off+uint32(s.n)], key) {
+			return s.val, true
+		}
+	}
+}
+
+func (m *imemo) insert(key []uint32, hash uint32, val bool) {
+	if len(m.slots) == 0 || (m.live+1)*4 > len(m.slots)*3 {
+		m.grow()
+	}
+	mask := uint32(len(m.slots) - 1)
+	i := hash & mask
+	for {
+		s := &m.slots[i]
+		if s.epoch != m.epoch {
+			break
+		}
+		if s.hash == hash && int(s.n) == len(key) && wordsEqual(m.keys[s.off:s.off+uint32(s.n)], key) {
+			s.val = val
+			return
+		}
+		i = (i + 1) & mask
+	}
+	off := uint32(len(m.keys))
+	m.keys = append(m.keys, key...)
+	m.slots[i] = imemoSlot{epoch: m.epoch, hash: hash, off: off, n: uint16(len(key)), val: val}
+	m.live++
+}
+
+func (m *imemo) grow() {
+	n := len(m.slots) * 2
+	if n == 0 {
+		n = 256
+	}
+	old := m.slots
+	m.slots = make([]imemoSlot, n)
+	mask := uint32(n - 1)
+	for _, s := range old {
+		if s.epoch != m.epoch {
+			continue
+		}
+		i := s.hash & mask
+		for m.slots[i].epoch == m.epoch {
+			i = (i + 1) & mask
+		}
+		m.slots[i] = s
+	}
+}
+
+func wordsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hashWords is FNV-1a over the coded key, one multiply-mix per word.
+func hashWords(ws []uint32) uint32 {
+	h := uint32(2166136261)
+	for _, w := range ws {
+		h = (h ^ w) * 16777619
+	}
+	return h
+}
+
+// ieval is one interned evaluation: flat valuation with undo stack,
+// memo table, and scratch buffers. Acquired from the per-Eliminator
+// cache and returned after the walk, so repeated evaluations of one
+// query reuse every backing array.
+type ieval struct {
+	prog    *iprog
+	col     *db.ColDB
+	chk     *evalctx.Checker
+	memoCap int
+
+	bound    []bool
+	vals     []sym.ID
+	undo     []int32
+	keybuf   []sym.ID
+	kscratch []uint32
+	memo     imemo
+
+	trSteps, trHits, trMisses int64
+}
+
+// acquire returns a ready evaluation state for prog: the warm cached
+// state when available (any prog of this eliminator fits — the slot
+// counts and key widths are fixed per query), a pooled one, or a fresh
+// allocation.
+func (e *Eliminator) acquire(c *db.ColDB, p *iprog, chk *evalctx.Checker) *ieval {
+	ev := e.ievalCache.Swap(nil)
+	if ev == nil {
+		ev, _ = e.ievalPool.Get().(*ieval)
+	}
+	if ev == nil {
+		ev = &ieval{
+			bound:    make([]bool, len(e.vars)),
+			vals:     make([]sym.ID, len(e.vars)),
+			keybuf:   make([]sym.ID, p.maxKey),
+			kscratch: make([]uint32, 0, 1+len(e.vars)),
+		}
+	}
+	ev.prog, ev.col, ev.chk = p, c, chk
+	ev.memoCap = chk.MemoCap()
+	ev.trSteps, ev.trHits, ev.trMisses = 0, 0, 0
+	ev.undo = ev.undo[:0]
+	for i := range ev.bound {
+		ev.bound[i] = false
+	}
+	ev.memo.reset()
+	return ev
+}
+
+func (e *Eliminator) release(ev *ieval) {
+	ev.prog, ev.col, ev.chk = nil, nil, nil
+	if !e.ievalCache.CompareAndSwap(nil, ev) {
+		e.ievalPool.Put(ev)
+	}
+}
+
+func (ev *ieval) flush(chk *evalctx.Checker) {
+	tr := chk.Tracer()
+	if tr == nil {
+		return
+	}
+	tr.Add(trace.StageEliminator, trace.CtrSteps, ev.trSteps)
+	tr.Add(trace.StageEliminator, trace.CtrMemoHits, ev.trHits)
+	tr.Add(trace.StageEliminator, trace.CtrMemoMisses, ev.trMisses)
+}
+
+// encodeKey codes the residue identity at a level into the scratch
+// buffer: the level word, then one word per relevant slot —
+// vals[slot]+1 when bound, 0 when free. Fixed width per level, so no
+// variable-name separators are needed.
+func (ev *ieval) encodeKey(level int) []uint32 {
+	k := ev.kscratch[:0]
+	k = append(k, uint32(level))
+	for _, s := range ev.prog.levels[level].relevant {
+		if ev.bound[s] {
+			k = append(k, uint32(ev.vals[s])+1)
+		} else {
+			k = append(k, 0)
+		}
+	}
+	return k
+}
+
+func (ev *ieval) unify(t iterm, id sym.ID) bool {
+	if t.slot < 0 {
+		return t.id == id
+	}
+	if ev.bound[t.slot] {
+		return ev.vals[t.slot] == id
+	}
+	ev.bound[t.slot] = true
+	ev.vals[t.slot] = id
+	ev.undo = append(ev.undo, t.slot)
+	return true
+}
+
+func (ev *ieval) undoTo(mark int) {
+	for i := len(ev.undo) - 1; i >= mark; i-- {
+		ev.bound[ev.undo[i]] = false
+	}
+	ev.undo = ev.undo[:mark]
+}
+
+// run is the interned analogue of elimEval.run: poll, memo probe,
+// evaluate, memo insert. The scratch key is clobbered by deeper levels
+// during eval, so the insert re-encodes — the bindings are restored by
+// then, producing the identical words.
+func (ev *ieval) run(level int) bool {
+	if ev.chk.Step() != nil {
+		return false
+	}
+	ev.trSteps++
+	if level == len(ev.prog.levels) {
+		return true
+	}
+	key := ev.encodeKey(level)
+	h := hashWords(key)
+	if v, ok := ev.memo.lookup(key, h); ok {
+		ev.trHits++
+		return v
+	}
+	ev.trMisses++
+	res := ev.eval(level)
+	// Same policy as the row walk: never memoize under a tripped
+	// checker, never past the memo budget.
+	if ev.chk.Err() == nil && (ev.memoCap <= 0 || ev.memo.live < ev.memoCap) {
+		ev.memo.insert(ev.encodeKey(level), h, res)
+	}
+	return res
+}
+
+func (ev *ieval) eval(level int) bool {
+	lv := &ev.prog.levels[level]
+	if lv.rel == nil {
+		return false
+	}
+	r := lv.rel.Rel
+	// Ground-key fast path: one hash probe instead of a span scan.
+	ground := true
+	for i, t := range lv.key {
+		switch {
+		case t.slot < 0:
+			ev.keybuf[i] = t.id
+		case ev.bound[t.slot]:
+			ev.keybuf[i] = ev.vals[t.slot]
+		default:
+			ground = false
+		}
+		if !ground {
+			break
+		}
+	}
+	if ground {
+		b, ok := r.BlockByKey(ev.keybuf[:len(lv.key)])
+		if !ok {
+			return false
+		}
+		return ev.blockCertain(level, b)
+	}
+	for b, nb := int32(0), int32(r.NumBlocks()); b < nb; b++ {
+		if ev.blockCertain(level, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockCertain is the Lemma 9 test over one span: the key pattern must
+// unify with the block key, and every row must unify the non-key
+// pattern and leave a certain residue. Bindings are undone through the
+// explicit stack.
+func (ev *ieval) blockCertain(level int, b int32) bool {
+	lv := &ev.prog.levels[level]
+	r := lv.rel.Rel
+	lo, hi := r.Span(b)
+	mark := len(ev.undo)
+	for i, t := range lv.key {
+		if !ev.unify(t, r.Col(i)[lo]) {
+			ev.undoTo(mark)
+			return false
+		}
+	}
+	kl := len(lv.key)
+	good := true
+	for row := lo; row < hi; row++ {
+		m2 := len(ev.undo)
+		ok := true
+		for i, t := range lv.nonkey {
+			if !ev.unify(t, r.Col(kl + i)[row]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ok = ev.run(level + 1)
+		}
+		ev.undoTo(m2)
+		if !ok {
+			good = false
+			break
+		}
+	}
+	ev.undoTo(mark)
+	return good
+}
+
+// certainInterned decides certainty on the columnar view. ok=false
+// means the view cannot represent the query's relations (irregular
+// data) and the caller must use the row path.
+func (e *Eliminator) certainInterned(ix *match.Index, initial query.Valuation, chk *evalctx.Checker) (res, ok bool, err error) {
+	c := ix.DB.Columnar()
+	p := e.prog(c)
+	if !p.ok {
+		return false, false, nil
+	}
+	ev := e.acquire(c, p, chk)
+	for v, cst := range initial {
+		slot, known := e.varSlot[v]
+		if !known {
+			continue // bindings of foreign variables are inert, as in the row walk
+		}
+		ev.bound[slot] = true
+		ev.vals[slot] = c.Syms.Intern(string(cst))
+	}
+	sp := chk.Tracer().Begin(trace.StageEliminator)
+	res = ev.run(0)
+	sp.End()
+	ev.flush(chk)
+	e.release(ev)
+	if err := chk.Err(); err != nil {
+		return false, true, err
+	}
+	return res, true, nil
+}
+
+// CertainOverSpans is the interned analogue of CertainOverBlocks: the
+// top level of the walk restricted to the given block indices of the
+// first elimination atom's relation in the columnar view (nil = every
+// block). ok=false means the view cannot decide — irregular relation,
+// or span indices that do not belong to the view — and the caller must
+// fall back to CertainOverBlocks.
+func (e *Eliminator) CertainOverSpans(ix *match.Index, spans []int32, chk *evalctx.Checker) (certain, ok bool, err error) {
+	c := ix.DB.Columnar()
+	p := e.prog(c)
+	if !p.ok {
+		return false, false, nil
+	}
+	lv := &p.levels[0]
+	if lv.rel == nil {
+		if len(spans) > 0 {
+			return false, false, nil
+		}
+		return false, true, chk.Err()
+	}
+	nb := int32(lv.rel.Rel.NumBlocks())
+	for _, s := range spans {
+		if s < 0 || s >= nb {
+			return false, false, nil
+		}
+	}
+	ev := e.acquire(c, p, chk)
+	sp := chk.Tracer().Begin(trace.StageEliminator)
+	res := false
+	n := int(nb)
+	if spans != nil {
+		n = len(spans)
+	}
+	for i := 0; i < n; i++ {
+		b := int32(i)
+		if spans != nil {
+			b = spans[i]
+		}
+		if ev.chk.Step() != nil {
+			break
+		}
+		ev.trSteps++
+		if ev.blockCertain(0, b) {
+			res = true
+			break
+		}
+	}
+	sp.End()
+	ev.flush(chk)
+	e.release(ev)
+	if err := chk.Err(); err != nil {
+		return false, true, err
+	}
+	return res, true, nil
+}
+
+// SweepSpans is the interned certain-answers block sweep (see
+// SweepableFree): for each listed block of the top relation (nil =
+// every block) the candidate binding is read off the block key, the
+// block runs the Lemma 9 test under it, and the passing bindings are
+// returned in span order. ok=false sends the caller to SweepBlocks.
+func (e *Eliminator) SweepSpans(ix *match.Index, spans []int32, free []query.Var, chk *evalctx.Checker) (out []query.Valuation, ok bool, err error) {
+	c := ix.DB.Columnar()
+	p := e.prog(c)
+	if !p.ok {
+		return nil, false, nil
+	}
+	lv := &p.levels[0]
+	if lv.rel == nil {
+		if len(spans) > 0 {
+			return nil, false, nil
+		}
+		return nil, true, chk.Err()
+	}
+	r := lv.rel.Rel
+	nb := int32(r.NumBlocks())
+	for _, s := range spans {
+		if s < 0 || s >= nb {
+			return nil, false, nil
+		}
+	}
+	// Column position of each free variable in the top atom's key
+	// (SweepableFree guarantees one exists).
+	freeCol := make([]int, len(free))
+	for j, v := range free {
+		slot, known := e.varSlot[v]
+		if !known {
+			return nil, false, nil
+		}
+		freeCol[j] = -1
+		for i, t := range lv.key {
+			if t.slot == slot {
+				freeCol[j] = i
+				break
+			}
+		}
+		if freeCol[j] < 0 {
+			return nil, false, nil
+		}
+	}
+	ev := e.acquire(c, p, chk)
+	sp := chk.Tracer().Begin(trace.StageEliminator)
+	n := int(nb)
+	if spans != nil {
+		n = len(spans)
+	}
+	for i := 0; i < n; i++ {
+		b := int32(i)
+		if spans != nil {
+			b = spans[i]
+		}
+		if ev.chk.Step() != nil {
+			break
+		}
+		ev.trSteps++
+		if ev.blockCertain(0, b) && ev.chk.Err() == nil {
+			lo, _ := r.Span(b)
+			val := make(query.Valuation, len(free))
+			for j, v := range free {
+				val[v] = query.Const(c.Syms.String(r.Col(freeCol[j])[lo]))
+			}
+			out = append(out, val)
+		}
+	}
+	sp.End()
+	ev.flush(chk)
+	e.release(ev)
+	if err := chk.Err(); err != nil {
+		return nil, true, err
+	}
+	return out, true, nil
+}
+
+// SweepSpanBits is the zero-allocation batched answers kernel: it
+// decides the Lemma 9 test for each listed block of the top relation
+// (nil = every block of the columnar view) and writes the verdicts into
+// out, which must have room for one entry per swept block. Candidate
+// materialization is the caller's concern, so a warm kernel performs no
+// allocation at all. ok=false means the columnar view cannot decide and
+// the caller must use SweepBlocks.
+func (e *Eliminator) SweepSpanBits(ix *match.Index, spans []int32, out []bool, chk *evalctx.Checker) (ok bool, err error) {
+	c := ix.DB.Columnar()
+	p := e.prog(c)
+	if !p.ok {
+		return false, nil
+	}
+	lv := &p.levels[0]
+	if lv.rel == nil {
+		if len(spans) > 0 {
+			return false, nil
+		}
+		return true, chk.Err()
+	}
+	nb := int32(lv.rel.Rel.NumBlocks())
+	for _, s := range spans {
+		if s < 0 || s >= nb {
+			return false, nil
+		}
+	}
+	n := int(nb)
+	if spans != nil {
+		n = len(spans)
+	}
+	if len(out) < n {
+		return false, nil
+	}
+	ev := e.acquire(c, p, chk)
+	sp := chk.Tracer().Begin(trace.StageEliminator)
+	for i := 0; i < n; i++ {
+		b := int32(i)
+		if spans != nil {
+			b = spans[i]
+		}
+		if ev.chk.Step() != nil {
+			break
+		}
+		ev.trSteps++
+		out[i] = ev.blockCertain(0, b)
+	}
+	sp.End()
+	ev.flush(chk)
+	e.release(ev)
+	return true, chk.Err()
+}
+
+// SortValuationsByKey sorts answer bindings into the canonical
+// binding-key order the scatter-gather merge uses, computing each key
+// once (decorate-sort-undecorate).
+func SortValuationsByKey(vals []query.Valuation) {
+	type keyed struct {
+		key string
+		val query.Valuation
+	}
+	all := make([]keyed, len(vals))
+	for i, v := range vals {
+		all[i] = keyed{key: v.Key(), val: v}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	for i, k := range all {
+		vals[i] = k.val
+	}
+}

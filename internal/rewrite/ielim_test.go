@@ -1,0 +1,373 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqa/internal/db"
+	"cqa/internal/match"
+	"cqa/internal/query"
+	"cqa/internal/schema"
+	"cqa/internal/workload"
+)
+
+// TestInternedMatchesRowRandom: the interned columnar walk and the
+// row-oriented reference walk decide the same boolean on random acyclic
+// instances, and the columnar view actually takes the case (parsed
+// databases are always regular).
+func TestInternedMatchesRowRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4117))
+	taken := 0
+	for trial := 0; trial < 300; trial++ {
+		q := acyclicRandomQuery(rng, t)
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		el, err := CompileAcyclic(q)
+		if err != nil {
+			t.Fatalf("compile %s: %v", q, err)
+		}
+		ix := match.NewIndex(d)
+		got, ok, err := el.certainInterned(ix, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue // no atoms, or a relation the view cannot hold
+		}
+		taken++
+		want, err := el.certainRowChecked(ix, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("interned=%v row=%v\nq = %s\ndb:\n%s", got, want, q, d)
+		}
+	}
+	if taken < 200 {
+		t.Fatalf("interned path decided only %d/300 trials; the columnar view should hold nearly all parsed instances", taken)
+	}
+}
+
+// TestInternedWithInitialValuation: seeding the interned walk with a
+// candidate binding agrees with the row walk under the same binding,
+// including bindings to constants absent from the database (a fresh
+// interned symbol occurs in no column, so unification fails exactly as
+// string comparison does) and bindings of foreign variables (inert).
+func TestInternedWithInitialValuation(t *testing.T) {
+	rng := rand.New(rand.NewSource(929))
+	for trial := 0; trial < 150; trial++ {
+		q := acyclicRandomQuery(rng, t)
+		vars := q.Vars().Sorted()
+		if len(vars) == 0 {
+			continue
+		}
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		adom := d.ActiveDomain()
+		if len(adom) == 0 {
+			continue
+		}
+		v := vars[rng.Intn(len(vars))]
+		binding := query.Valuation{v: adom[rng.Intn(len(adom))], "zzUnused": "whatever"}
+		if trial%5 == 0 {
+			binding[v] = "no-such-constant-anywhere"
+		}
+		el, err := CompileAcyclic(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := match.NewIndex(d)
+		got, ok, err := el.certainInterned(ix, binding, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		want, err := el.certainRowChecked(ix, binding, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("interned=%v row=%v\nq = %s\nbinding = %v\ndb:\n%s",
+				got, want, q, binding, d)
+		}
+	}
+}
+
+// TestInternedAbsentRelation: a query over a relation with no facts is
+// never certain (on a nonempty query), on both walks.
+func TestInternedAbsentRelation(t *testing.T) {
+	q := query.MustParse("T(x | y)")
+	el, err := CompileAcyclic(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := match.NewIndex(factsDB(t, "R(a | b)"))
+	got, ok, err := el.certainInterned(ix, nil, nil)
+	if err != nil || !ok {
+		t.Fatalf("certainInterned = (_, %v, %v), want decided", ok, err)
+	}
+	if got {
+		t.Fatal("query over an absent relation reported certain")
+	}
+	if want, _ := el.certainRowChecked(ix, nil, nil); want != got {
+		t.Fatalf("interned=%v row=%v on absent relation", got, want)
+	}
+}
+
+// TestInternedIrregularFallback: two schemas under one relation name
+// keep the columnar view out (certainInterned declines), and the public
+// CertainChecked still answers through the row walk.
+func TestInternedIrregularFallback(t *testing.T) {
+	d := db.New()
+	d.Add(db.NewFact(schema.Relation{Name: "R", Arity: 2, KeyLen: 1}, "a", "b"))
+	d.Add(db.NewFact(schema.Relation{Name: "R", Arity: 3, KeyLen: 1}, "c", "d", "e"))
+	d.Add(db.NewFact(schema.Relation{Name: "S", Arity: 2, KeyLen: 1}, "b", "c"))
+	q := query.MustParse("R(x | y), S(y | z)")
+	el, err := CompileAcyclic(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := match.NewIndex(d)
+	if _, ok, _ := el.certainInterned(ix, nil, nil); ok {
+		t.Fatal("interned walk claimed to decide an irregular relation")
+	}
+	got, err := el.CertainChecked(ix, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := el.certainRowChecked(ix, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("CertainChecked=%v row=%v on irregular data", got, want)
+	}
+	// Sweep entry points decline too; spans over an irregular top
+	// relation send the caller to the row sweeps.
+	if _, ok, _ := el.CertainOverSpans(ix, nil, nil); ok {
+		t.Fatal("CertainOverSpans decided an irregular relation")
+	}
+	if _, ok, _ := el.SweepSpans(ix, nil, []query.Var{"x"}, nil); ok {
+		t.Fatal("SweepSpans decided an irregular relation")
+	}
+	if ok, _ := el.SweepSpanBits(ix, nil, make([]bool, 4), nil); ok {
+		t.Fatal("SweepSpanBits decided an irregular relation")
+	}
+}
+
+// TestCertainOverSpansPartition: nil spans decide exactly Certain, and
+// any partition of the top relation's block indices ORs to the same
+// boolean — the contract the scatter-gather coordinator relies on.
+func TestCertainOverSpansPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(6553))
+	for trial := 0; trial < 120; trial++ {
+		q := acyclicRandomQuery(rng, t)
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		el, err := CompileAcyclic(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(el.Order()) == 0 {
+			continue
+		}
+		ix := match.NewIndex(d)
+		want := el.Certain(ix)
+		all, ok, err := el.CertainOverSpans(ix, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		if all != want {
+			t.Fatalf("CertainOverSpans(nil)=%v Certain=%v\nq = %s\ndb:\n%s", all, want, q, d)
+		}
+		topRel := el.Order()[0].Rel.Name
+		cr, regular := d.Columnar().Rel(topRel)
+		if !regular || cr == nil {
+			continue
+		}
+		parts := make([][]int32, 3)
+		for b := 0; b < cr.Rel.NumBlocks(); b++ {
+			parts[b%3] = append(parts[b%3], int32(b))
+		}
+		union := false
+		for _, part := range parts {
+			res, ok, err := el.CertainOverSpans(ix, part, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("CertainOverSpans declined valid spans %v", part)
+			}
+			union = union || res
+		}
+		if union != want {
+			t.Fatalf("partition OR=%v Certain=%v\nq = %s\ndb:\n%s", union, want, q, d)
+		}
+		// Out-of-range spans are refused, never mis-decided.
+		if _, ok, _ := el.CertainOverSpans(ix, []int32{int32(cr.Rel.NumBlocks())}, nil); ok {
+			t.Fatal("CertainOverSpans accepted an out-of-range block index")
+		}
+	}
+}
+
+// TestSweepSpansMatchesSweepBlocks: the interned sweep and the row
+// sweep produce the same answer set on a sweepable query, flat and
+// under a partition.
+func TestSweepSpansMatchesSweepBlocks(t *testing.T) {
+	q := query.MustParse("R(x | y), S(y | z)")
+	el, err := CompileAcyclic(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := factsDB(t, `
+		R(a | b)
+		R(a | c)
+		R(d | b)
+		R(e | q)
+		S(b | t)
+		S(c | t)
+		S(b | u)
+	`)
+	free := []query.Var{"x"}
+	if !el.SweepableFree(free) {
+		t.Fatal("fixture query should be sweepable on x")
+	}
+	ix := match.NewIndex(d)
+	want, err := el.SweepBlocks(ix, d.BlocksOf("R"), free, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := el.SweepSpans(ix, nil, free, nil)
+	if err != nil || !ok {
+		t.Fatalf("SweepSpans = (_, %v, %v), want decided", ok, err)
+	}
+	keySet := func(vals []query.Valuation) map[string]bool {
+		m := make(map[string]bool, len(vals))
+		for _, v := range vals {
+			m[v.Key()] = true
+		}
+		return m
+	}
+	wantKeys, gotKeys := keySet(want), keySet(got)
+	if len(wantKeys) != len(gotKeys) {
+		t.Fatalf("SweepSpans answers %v, SweepBlocks answers %v", got, want)
+	}
+	for k := range wantKeys {
+		if !gotKeys[k] {
+			t.Fatalf("SweepSpans missing answer %s; got %v want %v", k, got, want)
+		}
+	}
+	// Partitioned sweep unions to the same set.
+	cr, _ := d.Columnar().Rel("R")
+	parts := make([][]int32, 2)
+	for b := 0; b < cr.Rel.NumBlocks(); b++ {
+		parts[b%2] = append(parts[b%2], int32(b))
+	}
+	union := make(map[string]bool)
+	for _, part := range parts {
+		vals, ok, err := el.SweepSpans(ix, part, free, nil)
+		if err != nil || !ok {
+			t.Fatalf("partitioned SweepSpans = (_, %v, %v)", ok, err)
+		}
+		for _, v := range vals {
+			union[v.Key()] = true
+		}
+	}
+	if len(union) != len(wantKeys) {
+		t.Fatalf("partitioned union %v, want %v", union, wantKeys)
+	}
+
+	// The bit kernel agrees block-by-block with the materialized sweep.
+	bits := make([]bool, cr.Rel.NumBlocks())
+	ok, err = el.SweepSpanBits(ix, nil, bits, nil)
+	if err != nil || !ok {
+		t.Fatalf("SweepSpanBits = (%v, %v), want decided", ok, err)
+	}
+	passing := 0
+	for _, b := range bits {
+		if b {
+			passing++
+		}
+	}
+	if passing != len(got) {
+		t.Fatalf("SweepSpanBits reports %d passing blocks, SweepSpans returned %d answers", passing, len(got))
+	}
+	// Undersized output buffer is refused.
+	if ok, _ := el.SweepSpanBits(ix, nil, make([]bool, cr.Rel.NumBlocks()-1), nil); ok {
+		t.Fatal("SweepSpanBits accepted an undersized output buffer")
+	}
+}
+
+// TestSweepSpansRandomDifferential: interned sweep vs row sweep on
+// random sweepable instances.
+func TestSweepSpansRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	q := query.MustParse("R(x | y), S(y | z)")
+	el, err := CompileAcyclic(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := []query.Var{"x"}
+	for trial := 0; trial < 80; trial++ {
+		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
+		ix := match.NewIndex(d)
+		want, err := el.SweepBlocks(ix, d.BlocksOf("R"), free, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := el.SweepSpans(ix, nil, free, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		SortValuationsByKey(want)
+		SortValuationsByKey(got)
+		if len(want) != len(got) {
+			t.Fatalf("SweepSpans %d answers, SweepBlocks %d\ndb:\n%s", len(got), len(want), d)
+		}
+		for i := range want {
+			if want[i].Key() != got[i].Key() {
+				t.Fatalf("answer %d: interned %v row %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestInternedConstantsInQuery: query constants — present and absent
+// from the database — decide identically on both walks.
+func TestInternedConstantsInQuery(t *testing.T) {
+	d := factsDB(t, `
+		R(a | b)
+		R(a | c)
+		S(b | v)
+		S(c | v)
+	`)
+	ix := match.NewIndex(d)
+	for _, qs := range []string{
+		`R('a' | y), S(y | z)`,
+		`R('nope' | y), S(y | z)`,
+		`R(x | y), S(y | 'v')`,
+		`R(x | y), S(y | 'missing')`,
+	} {
+		q := query.MustParse(qs)
+		el, err := CompileAcyclic(q)
+		if err != nil {
+			t.Fatalf("compile %s: %v", qs, err)
+		}
+		got, ok, err := el.certainInterned(ix, nil, nil)
+		if err != nil || !ok {
+			t.Fatalf("%s: certainInterned = (_, %v, %v)", qs, ok, err)
+		}
+		want, err := el.certainRowChecked(ix, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%s: interned=%v row=%v", qs, got, want)
+		}
+	}
+}

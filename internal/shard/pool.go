@@ -74,7 +74,13 @@ type shardState struct {
 	built            atomic.Bool
 	initialBuildDone bool
 	blocks           map[string][]db.Block
-	numBlocks        int
+	// spans holds, per regular relation of the snapshot's columnar
+	// view, the indices of the columnar blocks this shard owns — the
+	// interned form of the blocks partition, assigned by the same
+	// Of(blockID) hash so both forms always agree. Relations absent
+	// from the map are irregular (row path only).
+	spans     map[string][]int32
+	numBlocks int
 
 	evals    atomic.Int64
 	failures atomic.Int64
@@ -223,6 +229,23 @@ func (s *shardState) build() error {
 	}
 	s.blocks = blocks
 	s.numBlocks = count
+	// The columnar partition: for every regular relation, the indices
+	// of the columnar blocks this shard owns. The entry exists even
+	// when the shard owns none of a relation's blocks, so SpansOf can
+	// distinguish "empty partition" from "irregular relation".
+	col := s.pool.db.Columnar()
+	spans := make(map[string][]int32, len(col.RelNames()))
+	for _, name := range col.RelNames() {
+		cr, _ := col.Rel(name)
+		sp := []int32{}
+		for bi, blk := range cr.Blocks {
+			if Of(blk.ID, s.pool.n) == s.id {
+				sp = append(sp, int32(bi))
+			}
+		}
+		spans[name] = sp
+	}
+	s.spans = spans
 	return nil
 }
 

@@ -107,5 +107,15 @@ func (v *View) BlocksOf(relName string) []db.Block {
 	return v.s.blocks[relName]
 }
 
+// SpansOf returns the shard-owned columnar block indices of the named
+// relation — the interned form of BlocksOf, valid against the
+// snapshot's columnar view. ok is false when the relation is irregular
+// there (or the snapshot has no facts for it), in which case the caller
+// must use BlocksOf. The slice is shared; do not modify.
+func (v *View) SpansOf(relName string) ([]int32, bool) {
+	sp, ok := v.s.spans[relName]
+	return sp, ok
+}
+
 // NumBlocks returns the number of blocks this shard owns.
 func (v *View) NumBlocks() int { return v.s.numBlocks }

@@ -133,6 +133,7 @@ func (s *Snapshot) IndexTraced(tr *trace.Tracer) *match.Index {
 	// cold structure first.
 	s.DB.Blocks()
 	s.DB.ActiveDomain()
+	s.DB.Columnar()
 	s.index.Store(ix)
 	if s.stats != nil {
 		s.stats.misses.Add(1)
