@@ -38,6 +38,7 @@ check: build test bench-smoke fuzz-smoke cover
 chaos:
 	$(GO) test -race ./internal/faultinject ./internal/evalctx
 	$(GO) test -race -run 'Cancel|Deadline|Budget|Leak|Fault|Shedding|Draining|Liveness|Readiness|Degrad|Hedge|DeadShard|Unavailable' ./internal/core ./internal/server ./internal/shard
+	$(GO) test -race -run 'Crash|Races|Fallback' ./internal/store
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -74,13 +75,15 @@ vet:
 # correctness leans on hardest: the trace layer (observability must not
 # rot — it is how regressions get diagnosed), the FO rewriting engine,
 # the coNP solver, the shard engine (a partitioning bug silently
-# corrupts answers, so its tests must not erode), and the interned
+# corrupts answers, so its tests must not erode), the interned
 # columnar storage layers (sym, colstore) the zero-alloc hot path sits
-# on. Floors are a few points under current coverage so they catch
+# on, and the mutation path (db structural sharing, store group
+# commit + WAL) where an aliasing bug corrupts every derived version.
+# Floors are a few points under current coverage so they catch
 # deleted tests, not noise.
 cover:
 	$(GO) test -cover ./internal/... | tee cover.out
-	@status=0; for spec in trace:90 rewrite:70 conp:75 shard:80 sym:90 colstore:90; do \
+	@status=0; for spec in trace:90 rewrite:70 conp:75 shard:80 sym:90 colstore:90 db:80 store:80; do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		pct=$$(awk -v p="cqa/internal/$$pkg" '$$2 == p { for (i=1;i<=NF;i++) if ($$i ~ /%$$/) { sub(/%/,"",$$i); print $$i; exit } }' cover.out); \
 		if [ -z "$$pct" ]; then echo "cover: no coverage reported for internal/$$pkg"; status=1; \

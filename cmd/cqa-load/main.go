@@ -7,8 +7,12 @@
 // Usage:
 //
 //	cqa-load [-url http://127.0.0.1:8334] [-qps 200] [-duration 5s]
-//	         [-concurrency 16] [-classify 0.25] [-seed 1]
+//	         [-concurrency 16] [-classify 0.25] [-write-mix 0] [-seed 1]
 //	cqa-load -probe        # cold-vs-warm plan-cache latency per query
+//
+// With -write-mix F, that fraction of certain requests is replaced by
+// POST /v1/db/{name}/facts delta writes against the same databases,
+// exercising the incremental mutation path under read traffic.
 package main
 
 import (

@@ -22,6 +22,7 @@ import (
 
 	"cqa/internal/catalog"
 	"cqa/internal/server"
+	"cqa/internal/wal"
 	"cqa/internal/workload"
 )
 
@@ -43,6 +44,7 @@ func RunServe(args []string, stdout, stderr io.Writer) int {
 	slowThreshold := fs.Duration("slow-threshold", 0, "latency above which a request enters the slow-query log (0 = server default, <0 = disabled)")
 	shards := fs.Int("shards", 0, "key-partitioned shards per database snapshot (0 or 1 = monolithic evaluation)")
 	hedge := fs.Duration("hedge", 0, "duplicate a shard task not done within this delay onto a fresh goroutine (0 = no hedging)")
+	walDir := fs.String("wal", "", "append-only journal directory: replayed on boot, then every mutation is journaled before it publishes (empty = no durability)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -66,6 +68,25 @@ func RunServe(args []string, stdout, stderr io.Writer) int {
 		Shards:           *shards,
 		HedgeDelay:       *hedge,
 	})
+	if *walDir != "" {
+		// Recovery first, journaling second: replay drives the ordinary
+		// mutation paths, and attaching the journal only afterwards keeps
+		// recovered records from being appended a second time.
+		n, err := srv.Store().ReplayWAL(*walDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "cqa-serve: wal replay:", err)
+			return 1
+		}
+		l, err := wal.Open(*walDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "cqa-serve: wal open:", err)
+			return 1
+		}
+		defer l.Close()
+		srv.Store().SetWAL(l)
+		fmt.Fprintf(stdout, "cqa-serve wal: replayed %d records from %s (%d databases restored)\n",
+			n, *walDir, srv.Store().Len())
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -118,8 +139,11 @@ func RunServe(args []string, stdout, stderr io.Writer) int {
 // loadJob is one prepared request of the load mix.
 type loadJob struct {
 	name     string
-	endpoint string // "certain" or "classify"
+	endpoint string // "certain", "classify", or "mutate"
 	body     []byte
+	// db is the target database name; used by mutate jobs, whose URL is
+	// /v1/db/{db}/facts rather than /v1/{endpoint}.
+	db string
 	// traced opts this request into X-CQA-Trace stage tracing; the
 	// returned breakdown is aggregated into the summary.
 	traced bool
@@ -161,6 +185,7 @@ func RunLoad(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "random seed for generated databases")
 	classifyFrac := fs.Float64("classify", 0.25, "fraction of requests that hit /v1/classify")
 	traceFrac := fs.Float64("trace", 0, "fraction of certain requests that opt into X-CQA-Trace stage tracing (0 = off)")
+	writeMix := fs.Float64("write-mix", 0, "fraction of certain requests replaced by POST /v1/db/{name}/facts delta writes (0 = read-only)")
 	probe := fs.Bool("probe", false, "measure cold vs warm plan-cache latency per query and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -182,7 +207,7 @@ func RunLoad(args []string, stdout, stderr io.Writer) int {
 		return runProbe(client, base, jobs, stdout, stderr)
 	}
 
-	results := fireAtRate(client, base, jobs, *qps, *duration, *concurrency, *traceFrac)
+	results := fireAtRate(client, base, jobs, *qps, *duration, *concurrency, *traceFrac, *writeMix)
 	summarize(stdout, results, *duration)
 	printServerCounters(client, base, stdout)
 	return 0
@@ -245,7 +270,7 @@ func prepareLoad(client *http.Client, base string, seed int64, classifyFrac floa
 		if err != nil {
 			return nil, err
 		}
-		jobs = append(jobs, loadJob{name: nq.name, endpoint: "certain", body: certainBody})
+		jobs = append(jobs, loadJob{name: nq.name, endpoint: "certain", body: certainBody, db: dbName})
 		if float64(i%100)/100 < classifyFrac {
 			classifyBody, _ := json.Marshal(map[string]string{"query": nq.text})
 			jobs = append(jobs, loadJob{name: nq.name, endpoint: "classify", body: classifyBody})
@@ -270,7 +295,11 @@ func fire(client *http.Client, base string, job loadJob) loadResult {
 	for attempt := 1; ; attempt++ {
 		retryAfter := time.Duration(0)
 		retryable := false
-		req, rerr := http.NewRequest("POST", base+"/v1/"+job.endpoint, bytes.NewReader(job.body))
+		url := base + "/v1/" + job.endpoint
+		if job.endpoint == "mutate" {
+			url = base + "/v1/db/" + job.db + "/facts"
+		}
+		req, rerr := http.NewRequest("POST", url, bytes.NewReader(job.body))
 		if rerr != nil {
 			res.latency = time.Since(start)
 			res.err = true
@@ -347,7 +376,7 @@ func decodeStages(r io.Reader) []stageMicros {
 // fireAtRate replays the jobs round-robin at the target QPS for the
 // given duration and collects per-request results. When traceFrac > 0,
 // that fraction of certain requests opts into stage tracing.
-func fireAtRate(client *http.Client, base string, jobs []loadJob, qps int, duration time.Duration, concurrency int, traceFrac float64) []loadResult {
+func fireAtRate(client *http.Client, base string, jobs []loadJob, qps int, duration time.Duration, concurrency int, traceFrac, writeMix float64) []loadResult {
 	if qps < 1 {
 		qps = 1
 	}
@@ -356,6 +385,13 @@ func fireAtRate(client *http.Client, base string, jobs []loadJob, qps int, durat
 		traceEvery = int(1 / traceFrac)
 		if traceEvery < 1 {
 			traceEvery = 1
+		}
+	}
+	writeEvery := 0
+	if writeMix > 0 {
+		writeEvery = int(1 / writeMix)
+		if writeEvery < 1 {
+			writeEvery = 1
 		}
 	}
 	interval := time.Second / time.Duration(qps)
@@ -378,7 +414,7 @@ func fireAtRate(client *http.Client, base string, jobs []loadJob, qps int, durat
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	deadline := time.After(duration)
-	i, certainSent := 0, 0
+	i, certainSent, writeSeq := 0, 0, 0
 loop:
 	for {
 		select {
@@ -386,9 +422,21 @@ loop:
 			break loop
 		case <-ticker.C:
 			job := jobs[i%len(jobs)]
-			if traceEvery > 0 && job.endpoint == "certain" {
-				job.traced = certainSent%traceEvery == 0
+			if job.endpoint == "certain" {
 				certainSent++
+				if writeEvery > 0 && certainSent%writeEvery == 0 {
+					// Replace this read with a delta write against the same
+					// database: insert a fresh fact into a scratch relation
+					// the queries never touch and retire the previous one, so
+					// the database stays the same size while every write is a
+					// real published version.
+					writeSeq++
+					job = loadJob{name: job.name, endpoint: "mutate", db: job.db,
+						body: []byte(fmt.Sprintf(`{"insert": ["W(w%d | %d)"], "delete": ["W(w%d | %d)"]}`,
+							writeSeq, writeSeq, writeSeq-1, writeSeq-1))}
+				} else if traceEvery > 0 {
+					job.traced = (certainSent-1)%traceEvery == 0
+				}
 			}
 			select {
 			case pending <- job:
@@ -596,6 +644,7 @@ func printServerCounters(client *http.Client, base string, stdout io.Writer) {
 	fmt.Fprintln(stdout, "\nserver counters:")
 	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
 		if strings.HasPrefix(line, "cqa_plancache_") || strings.HasPrefix(line, "cqa_store_") ||
+			strings.HasPrefix(line, "cqa_db_mutations_") ||
 			strings.HasPrefix(line, "cqa_requests_shed_") || strings.HasPrefix(line, "cqa_request_timeouts_") ||
 			strings.HasPrefix(line, "cqa_panics_recovered_") || strings.HasPrefix(line, "cqa_degraded_") {
 			fmt.Fprintf(stdout, "  %s\n", line)

@@ -126,6 +126,35 @@ func (b *Builder) AddRow(args []sym.ID) {
 	b.rows++
 }
 
+// AddSpans bulk-appends blocks [b0, b1) of src: the column ranges are
+// copied wholesale (one copy per column) and the span offsets shifted,
+// so splicing a long run of untouched blocks from a parent relation
+// costs memcpy, not per-row work. src must have the same shape as the
+// relation being built; Build still validates every block, so a
+// malformed source is caught the same way malformed rows are.
+func (b *Builder) AddSpans(src *Rel, b0, b1 int) {
+	if src.Arity != b.r.Arity || src.KeyLen != b.r.KeyLen {
+		panic(fmt.Sprintf("colstore: AddSpans into %s from %s: shape mismatch",
+			b.r.Name, src.Name))
+	}
+	if b0 < 0 || b1 > src.NumBlocks() || b0 >= b1 {
+		if b0 == b1 {
+			return
+		}
+		panic(fmt.Sprintf("colstore: AddSpans range [%d,%d) out of %s's %d blocks",
+			b0, b1, src.Name, src.NumBlocks()))
+	}
+	lo, hi := src.off[b0], src.off[b1]
+	for i := range b.r.cols {
+		b.r.cols[i] = append(b.r.cols[i], src.cols[i][lo:hi]...)
+	}
+	shift := b.rows - lo
+	for bi := b0; bi < b1; bi++ {
+		b.r.off = append(b.r.off, src.off[bi]+shift)
+	}
+	b.rows += hi - lo
+}
+
 // Build finalizes the spans, validates the block invariants, and builds
 // the ground-key hash table. The builder must not be reused.
 func (b *Builder) Build() *Rel {

@@ -172,3 +172,93 @@ func TestAddRowPanicsOnArityMismatch(t *testing.T) {
 	b.StartBlock()
 	b.AddRow([]sym.ID{1})
 }
+
+func TestAddSpans(t *testing.T) {
+	src, tb := buildRel(t, "R", 2, 1, [][][]string{
+		{{"a", "1"}, {"a", "2"}},
+		{{"b", "1"}},
+		{{"c", "3"}, {"c", "4"}},
+		{{"d", "9"}},
+	})
+	// Splice blocks [0,2) and [3,4), dropping block 2 (key c).
+	b := NewBuilder("R", 2, 1)
+	b.AddSpans(src, 0, 2)
+	b.AddSpans(src, 2, 2) // empty range: no-op
+	b.AddSpans(src, 3, 4)
+	r := b.Build()
+	if r.Rows() != 4 || r.NumBlocks() != 3 {
+		t.Fatalf("Rows=%d NumBlocks=%d, want 4 and 3", r.Rows(), r.NumBlocks())
+	}
+	wantSpans := [][2]int32{{0, 2}, {2, 3}, {3, 4}}
+	for bi, w := range wantSpans {
+		lo, hi := r.Span(int32(bi))
+		if lo != w[0] || hi != w[1] {
+			t.Fatalf("Span(%d) = [%d,%d), want [%d,%d)", bi, lo, hi, w[0], w[1])
+		}
+	}
+	wantCol1 := []string{"1", "2", "1", "9"}
+	for row, w := range wantCol1 {
+		if got := tb.String(r.At(1, int32(row))); got != w {
+			t.Fatalf("At(1,%d) = %q, want %q", row, got, w)
+		}
+	}
+	for _, k := range []string{"a", "b", "d"} {
+		if _, ok := r.BlockByKey([]sym.ID{mustLookup(t, tb, k)}); !ok {
+			t.Fatalf("spliced relation lost key %q", k)
+		}
+	}
+	if _, ok := r.BlockByKey([]sym.ID{mustLookup(t, tb, "c")}); ok {
+		t.Fatal("dropped block still addressable")
+	}
+}
+
+func mustLookup(t *testing.T, tb *sym.Table, s string) sym.ID {
+	t.Helper()
+	id, ok := tb.Lookup(s)
+	if !ok {
+		t.Fatalf("constant %q not interned", s)
+	}
+	return id
+}
+
+func TestAddSpansMixedWithRows(t *testing.T) {
+	src, tb := buildRel(t, "R", 2, 1, [][][]string{
+		{{"a", "1"}},
+		{{"b", "2"}, {"b", "3"}},
+	})
+	b := NewBuilder("R", 2, 1)
+	b.StartBlock()
+	b.AddRow([]sym.ID{tb.Intern("z"), tb.Intern("0")})
+	b.AddSpans(src, 0, 2)
+	r := b.Build()
+	if r.Rows() != 4 || r.NumBlocks() != 3 {
+		t.Fatalf("Rows=%d NumBlocks=%d, want 4 and 3", r.Rows(), r.NumBlocks())
+	}
+	// The spliced spans shifted past the hand-built block.
+	if lo, hi := r.Span(1); lo != 1 || hi != 2 {
+		t.Fatalf("Span(1) = [%d,%d), want [1,2)", lo, hi)
+	}
+	if lo, hi := r.Span(2); lo != 2 || hi != 4 {
+		t.Fatalf("Span(2) = [%d,%d), want [2,4)", lo, hi)
+	}
+}
+
+func TestAddSpansPanicsOnShapeMismatch(t *testing.T) {
+	src, _ := buildRel(t, "S", 3, 2, [][][]string{{{"a", "b", "c"}}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	NewBuilder("R", 2, 1).AddSpans(src, 0, 1)
+}
+
+func TestAddSpansPanicsOnBadRange(t *testing.T) {
+	src, _ := buildRel(t, "R", 2, 1, [][][]string{{{"a", "1"}}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range span")
+		}
+	}()
+	NewBuilder("R", 2, 1).AddSpans(src, 0, 2)
+}

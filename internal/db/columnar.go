@@ -1,6 +1,7 @@
 package db
 
 import (
+	"maps"
 	"sort"
 	"sync"
 
@@ -15,8 +16,8 @@ import (
 // its block order, so span indices translate to Block values (and their
 // string IDs) without re-deriving anything.
 type ColRel struct {
-	// Rel is the column store: key-sorted blocks as contiguous row
-	// spans over flat interned columns.
+	// Rel is the column store: blocks as contiguous row spans over flat
+	// interned columns.
 	Rel *colstore.Rel
 	// Blocks are the same blocks in the same order as Rel's spans —
 	// Blocks[b] holds the facts of span b. Shared with the row index.
@@ -32,6 +33,10 @@ type ColRel struct {
 // shapes, and such relations stay on the row-oriented path rather than
 // forcing a lossy columnar encoding. Built once per DB (see Columnar)
 // and immutable afterwards; safe for concurrent use.
+//
+// A view derived by Apply shares the parent's symbol table (it is
+// append-only, so parent IDs stay valid) and the parent's ColRel for
+// every untouched relation; only touched relations are respliced.
 type ColDB struct {
 	Syms *sym.Table
 
@@ -45,6 +50,17 @@ type ColDB struct {
 	// stays small; it lives here because program IDs are only valid
 	// against this view's symbol table and block order.
 	progs sync.Map
+}
+
+// ViewProg is implemented by the compiled evaluation programs cached in
+// a view's Progs map. When Apply derives a child view, parent programs
+// that report themselves still valid are carried over — for queries
+// over untouched relations this keeps the warm zero-alloc walk (and its
+// cached state) across writes instead of recompiling per version.
+type ViewProg interface {
+	// ValidFor reports whether the program's compiled references
+	// (relation pointers, interned IDs) are still correct against c.
+	ValidFor(c *ColDB) bool
 }
 
 // Rel returns the columnar relation. ok is false when the relation is
@@ -66,9 +82,10 @@ func (c *ColDB) Progs() *sync.Map { return &c.progs }
 
 // Columnar returns the memoized columnar view, building it on first
 // use. Like index(), racing builders may construct the view twice; the
-// build is deterministic (interning order follows fact insertion
-// order), so either result is identical and readers stay consistent.
-// ResetCaches drops the view along with the row index.
+// build is deterministic (interning order follows fact order), so
+// either result is identical and readers stay consistent. ResetCaches
+// drops the view along with the row index; Apply derives the child's
+// view incrementally instead of dropping it.
 func (d *DB) Columnar() *ColDB {
 	if c := d.colMemo.Load(); c != nil {
 		return c
@@ -79,34 +96,30 @@ func (d *DB) Columnar() *ColDB {
 }
 
 func (d *DB) buildColumnar() *ColDB {
-	ix := d.index()
 	c := &ColDB{
 		Syms:      sym.NewTable(),
-		rels:      make(map[string]*ColRel, len(ix.relBlocks)),
+		rels:      make(map[string]*ColRel, len(d.rels)),
 		irregular: make(map[string]bool),
 	}
-	// Intern every constant in insertion order first, so the ID
+	// Intern every constant in Facts() order first, so the ID
 	// assignment is a pure function of the fact sequence regardless of
 	// relation-map iteration order below.
-	for _, f := range d.facts {
+	for _, f := range d.Facts() {
 		for _, a := range f.Args {
 			c.Syms.Intern(string(a))
 		}
 	}
-	for name, blocks := range ix.relBlocks {
-		facts := ix.relFacts[name]
-		rel := facts[0].Rel
-		regular := true
-		for _, f := range facts {
-			if f.Rel != rel {
-				regular = false
-				break
-			}
+	for _, name := range d.relOrder {
+		seg := d.rels[name]
+		if len(seg.blocks) == 0 {
+			continue
 		}
-		if !regular {
+		if seg.mixed {
 			c.irregular[name] = true
 			continue
 		}
+		blocks := seg.blocks
+		rel := seg.rel
 		// Key-sort the blocks by interned key tuple: a deterministic
 		// layout that keeps equal prefixes adjacent. Keys are unique
 		// per relation, so the order is total.
@@ -148,6 +161,137 @@ func (d *DB) buildColumnar() *ColDB {
 	}
 	sort.Strings(c.names)
 	return c
+}
+
+// deriveColumnar builds the child's columnar view from the parent's:
+// untouched relations alias the parent's ColRel (so span indices,
+// compiled programs, and the interned walk stay warm), and each touched
+// relation is respliced — untouched block runs copy column-wise,
+// modified blocks re-intern in place, removed blocks drop, and added
+// blocks append at the end. The shared symbol table is append-only, so
+// every parent ID stays valid in the child.
+func deriveColumnar(parent *ColDB, child *DB, ch *ChangeSet) *ColDB {
+	c := &ColDB{
+		Syms:      parent.Syms,
+		rels:      maps.Clone(parent.rels),
+		irregular: maps.Clone(parent.irregular),
+	}
+	for name, rc := range ch.Rels {
+		seg := child.rels[name]
+		if seg == nil || len(seg.blocks) == 0 {
+			// The relation was emptied: no columnar form, no irregular
+			// flag (Rel returns (nil, true), the empty-relation shape).
+			delete(c.rels, name)
+			delete(c.irregular, name)
+			continue
+		}
+		if seg.mixed {
+			delete(c.rels, name)
+			c.irregular[name] = true
+			continue
+		}
+		c.rels[name] = spliceColRel(c.Syms, seg, parent.rels[name], rc)
+	}
+	c.names = make([]string, 0, len(c.rels))
+	for name := range c.rels {
+		c.names = append(c.names, name)
+	}
+	sort.Strings(c.names)
+	// Carry over the compiled programs that remain valid — a program
+	// whose every relation still points at the same ColRel sees an
+	// identical world, so queries over untouched relations skip the
+	// per-version recompile entirely.
+	parent.progs.Range(func(k, v any) bool {
+		if vp, ok := v.(ViewProg); ok && vp.ValidFor(c) {
+			c.progs.Store(k, v)
+		}
+		return true
+	})
+	return c
+}
+
+// spliceColRel rebuilds one touched relation's columnar form from the
+// parent's, in O(delta) probe work plus column memcpy of the surviving
+// rows. New blocks append after the parent's block order (the answer
+// paths sort by key at the end, so block order is layout, not
+// semantics); modified blocks keep their position, so span indices of
+// untouched blocks never move unless a block was removed.
+func spliceColRel(syms *sym.Table, seg *relSeg, pr *ColRel, rc *RelChange) *ColRel {
+	rel := seg.rel
+	b := colstore.NewBuilder(rel.Name, rel.Arity, rel.KeyLen)
+	row := make([]sym.ID, rel.Arity)
+	addBlock := func(blk Block) {
+		b.StartBlock()
+		for _, f := range blk.Facts {
+			for i, a := range f.Args {
+				row[i] = syms.Intern(string(a))
+			}
+			b.AddRow(row)
+		}
+	}
+	if pr == nil {
+		// New (or previously empty) relation: build wholesale, blocks in
+		// segment order.
+		aligned := append([]Block(nil), seg.blocks...)
+		for _, blk := range seg.blocks {
+			addBlock(blk)
+		}
+		return &ColRel{Rel: b.Build(), Blocks: aligned, Relation: rel}
+	}
+	// Locate removed and modified blocks in the parent's block order via
+	// the interned key probe; their constants are parent data, so the
+	// lookups cannot miss.
+	type patch struct {
+		idx int32
+		blk Block
+		mod bool
+	}
+	patches := make([]patch, 0, len(rc.Removed)+len(rc.Modified))
+	locate := func(blk Block) int32 {
+		key := blk.Facts[0].Key()
+		ids := make([]sym.ID, len(key))
+		for i, k := range key {
+			id, ok := syms.Lookup(string(k))
+			if !ok {
+				panic("db: spliceColRel: key constant missing from the shared symbol table")
+			}
+			ids[i] = id
+		}
+		bi, ok := pr.Rel.BlockByKey(ids)
+		if !ok {
+			panic("db: spliceColRel: changed block missing from the parent view")
+		}
+		return bi
+	}
+	for _, blk := range rc.Removed {
+		patches = append(patches, patch{idx: locate(blk)})
+	}
+	for _, blk := range rc.Modified {
+		patches = append(patches, patch{idx: locate(blk), blk: blk, mod: true})
+	}
+	sort.Slice(patches, func(i, j int) bool { return patches[i].idx < patches[j].idx })
+	aligned := make([]Block, 0, len(seg.blocks))
+	cur := int32(0)
+	for _, p := range patches {
+		if p.idx > cur {
+			b.AddSpans(pr.Rel, int(cur), int(p.idx))
+			aligned = append(aligned, pr.Blocks[cur:p.idx]...)
+		}
+		if p.mod {
+			addBlock(p.blk)
+			aligned = append(aligned, p.blk)
+		}
+		cur = p.idx + 1
+	}
+	if nb := int32(pr.Rel.NumBlocks()); cur < nb {
+		b.AddSpans(pr.Rel, int(cur), int(nb))
+		aligned = append(aligned, pr.Blocks[cur:nb]...)
+	}
+	for _, blk := range rc.Added {
+		addBlock(blk)
+		aligned = append(aligned, blk)
+	}
+	return &ColRel{Rel: b.Build(), Blocks: aligned, Relation: rel}
 }
 
 // maxProbeKey bounds the stack buffer of the interned ground-key probe;

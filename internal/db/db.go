@@ -3,10 +3,17 @@
 // (maximal sets of key-equal facts), repairs (maximal consistent subsets,
 // obtained by picking exactly one fact per block), and the bookkeeping the
 // solvers need: indexes, active domains, and repair enumeration.
+//
+// A DB is organized as per-relation segments (relSeg): each relation owns
+// its block slice and key→block table. That layout is what makes MVCC
+// writes cheap — Apply builds the next version by cloning only the
+// touched relations' segments and aliasing the rest, so a single-fact
+// delta costs O(touched relation), not O(database).
 package db
 
 import (
 	"fmt"
+	"maps"
 	"math"
 	"sort"
 	"strings"
@@ -120,36 +127,118 @@ type Block struct {
 	Facts []Fact
 }
 
-// DB is an uncertain database: a set of facts with stable insertion order
-// and indexes by relation and by block. The zero value is not ready; use
-// New.
+// sameFacts reports whether two blocks hold the identical facts slice
+// (Apply's copy-on-write discipline makes slice identity equivalent to
+// "this block was not modified between the two versions").
+func sameFacts(a, b []Fact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+// relSeg is one relation's segment: its blocks in first-seen order plus
+// the block-ID → position table. Segments are the unit of structural
+// sharing — Apply aliases untouched segments into the child version and
+// clones only the touched ones.
+type relSeg struct {
+	// rel is the schema of the first fact ever stored; mixed is set when
+	// a later fact carried a different schema under the same name (the
+	// inferred-signature parser can produce those), which sends the
+	// relation to the row-oriented evaluation path.
+	rel   schema.Relation
+	mixed bool
+
+	blocks []Block
+	byID   map[string]int // block ID -> position in blocks
+
+	// facts is the relation's facts in insertion order; nil on cloned
+	// segments, which rebuild it lazily from the blocks (lazyFacts).
+	facts     []Fact
+	lazyFacts atomic.Pointer[[]Fact]
+
+	// shared marks the blocks slice and byID table as aliased by another
+	// version: a mutation must clone the segment first. cow marks the
+	// Facts slices inside blocks as possibly aliased: a mutation must
+	// replace, never append in place (a shared backing array written by
+	// two sibling versions would corrupt one of them).
+	shared bool
+	cow    bool
+}
+
+// clone returns a mutable copy of the segment: fresh blocks slice and
+// byID table, but the Facts slices inside still alias the original, so
+// the clone carries cow and modifications must replace them.
+func (s *relSeg) clone() *relSeg {
+	return &relSeg{
+		rel:    s.rel,
+		mixed:  s.mixed,
+		blocks: append([]Block(nil), s.blocks...),
+		byID:   maps.Clone(s.byID),
+		cow:    true,
+	}
+}
+
+// factsView returns the segment's facts, materializing them from the
+// blocks on first use for cloned segments.
+func (s *relSeg) factsView() []Fact {
+	if s.facts != nil {
+		return s.facts
+	}
+	if p := s.lazyFacts.Load(); p != nil {
+		return *p
+	}
+	n := 0
+	for _, b := range s.blocks {
+		n += len(b.Facts)
+	}
+	fs := make([]Fact, 0, n)
+	for _, b := range s.blocks {
+		fs = append(fs, b.Facts...)
+	}
+	s.lazyFacts.CompareAndSwap(nil, &fs)
+	return *s.lazyFacts.Load()
+}
+
+// DB is an uncertain database: a set of facts organized into per-relation
+// segments. The zero value is not ready; use New.
 //
 // Every engine path loads a database once and then only reads it, so the
-// derived lookup structures — materialized blocks, per-relation fact and
-// block slices, the key→block hash, and the active domain — are memoized
-// on first use and invalidated by Add. Concurrent readers are safe (the
-// memo is published through an atomic pointer); mutation (Add) must not
-// race with readers, as before.
+// derived lookup structures — the global block slice, the active domain,
+// and the columnar view — are memoized on first use and invalidated by
+// Add. Concurrent readers are safe (memos are published through atomic
+// pointers); mutation (Add, Apply) must not race with other mutations of
+// the same DB. Apply is safe to run concurrently with readers of the
+// receiver: it never modifies anything readers look at.
 type DB struct {
-	facts   []Fact
-	present map[string]bool  // fact ID -> present
-	byRel   map[string][]int // relation name -> fact positions
-	byBlock map[string][]int // block ID -> fact positions
-	order   []string         // block IDs in first-seen order
+	rels     map[string]*relSeg
+	relOrder []string // relation names in first-seen order
+	nfacts   int
+	nblocks  int
+
+	// log holds the facts in global insertion order for databases built
+	// by Add/FromFacts, preserving the historical Facts()/String()
+	// ordering exactly. Apply-derived versions leave it nil and serve
+	// Facts() grouped by relation (first-seen relation order, then block
+	// order, then within-block insertion order).
+	log []Fact
+
+	// sharedOrder marks relOrder as aliased by another version: an
+	// extension must copy first, or sibling versions appending into one
+	// backing array would corrupt each other.
+	sharedOrder bool
+
 	memo    atomic.Pointer[dbIndex]
 	colMemo atomic.Pointer[ColDB]
 }
 
-// dbIndex holds the derived read-only lookup structures. It is built in
-// one pass over the facts and shared by all readers; the Fact slices
-// inside are owned by the index, so callers of the accessor methods must
-// treat them as immutable.
+// dbIndex holds the derived global read-only structures. It is built in
+// one pass over the segments and shared by all readers, who must treat
+// everything inside as immutable.
 type dbIndex struct {
-	blocks    []Block            // all blocks, first-seen order
-	byID      map[string]int     // block ID -> position in blocks
-	relBlocks map[string][]Block // relation name -> its blocks, first-seen order
-	relFacts  map[string][]Fact  // relation name -> facts, insertion order
-	adom      []query.Const      // active domain, sorted
+	blocks []Block       // all blocks, grouped by relation in first-seen order
+	adom   []query.Const // active domain, sorted
+	facts  []Fact        // global fact order; only set when the DB has no log
 }
 
 // index returns the memoized lookup structures, building them on first
@@ -166,37 +255,16 @@ func (d *DB) index() *dbIndex {
 }
 
 func (d *DB) buildIndex() *dbIndex {
-	ix := &dbIndex{
-		blocks:    make([]Block, 0, len(d.order)),
-		byID:      make(map[string]int, len(d.order)),
-		relBlocks: make(map[string][]Block, len(d.byRel)),
-		relFacts:  make(map[string][]Fact, len(d.byRel)),
-	}
-	for _, bid := range d.order {
-		positions := d.byBlock[bid]
-		fs := make([]Fact, len(positions))
-		for i, p := range positions {
-			fs[i] = d.facts[p]
-		}
-		b := Block{ID: bid, Facts: fs}
-		ix.byID[bid] = len(ix.blocks)
-		ix.blocks = append(ix.blocks, b)
-		if len(fs) > 0 {
-			name := fs[0].Rel.Name
-			ix.relBlocks[name] = append(ix.relBlocks[name], b)
-		}
-	}
-	for name, positions := range d.byRel {
-		fs := make([]Fact, len(positions))
-		for i, p := range positions {
-			fs[i] = d.facts[p]
-		}
-		ix.relFacts[name] = fs
+	ix := &dbIndex{blocks: make([]Block, 0, d.nblocks)}
+	for _, name := range d.relOrder {
+		ix.blocks = append(ix.blocks, d.rels[name].blocks...)
 	}
 	seen := make(map[query.Const]bool)
-	for _, f := range d.facts {
-		for _, c := range f.Args {
-			seen[c] = true
+	for _, b := range ix.blocks {
+		for _, f := range b.Facts {
+			for _, c := range f.Args {
+				seen[c] = true
+			}
 		}
 	}
 	ix.adom = make([]query.Const, 0, len(seen))
@@ -204,10 +272,17 @@ func (d *DB) buildIndex() *dbIndex {
 		ix.adom = append(ix.adom, c)
 	}
 	sort.Slice(ix.adom, func(i, j int) bool { return ix.adom[i] < ix.adom[j] })
+	if d.log == nil {
+		facts := make([]Fact, 0, d.nfacts)
+		for _, name := range d.relOrder {
+			facts = append(facts, d.rels[name].factsView()...)
+		}
+		ix.facts = facts
+	}
 	return ix
 }
 
-// ResetCaches drops the memoized lookup structures — the row index and
+// ResetCaches drops the memoized lookup structures — the global index and
 // the columnar view both rebuild on next use. Add calls it
 // automatically — it is exported only so cold-path benchmarks can
 // measure the first-request cost of an index build.
@@ -218,11 +293,7 @@ func (d *DB) ResetCaches() {
 
 // New returns an empty uncertain database.
 func New() *DB {
-	return &DB{
-		present: make(map[string]bool),
-		byRel:   make(map[string][]int),
-		byBlock: make(map[string][]int),
-	}
+	return &DB{rels: make(map[string]*relSeg)}
 }
 
 // FromFacts returns a database containing the given facts.
@@ -235,47 +306,128 @@ func FromFacts(facts ...Fact) *DB {
 }
 
 // Add inserts a fact; duplicates are ignored. It returns true if the fact
-// was new.
+// was new. A duplicate insert is a pure no-op: it does not invalidate the
+// memoized index or columnar view (see TestAddDuplicateKeepsCaches).
 func (d *DB) Add(f Fact) bool {
-	id := f.ID()
-	if d.present[id] {
-		return false
+	name := f.Rel.Name
+	seg := d.rels[name]
+	fresh := false
+	if seg == nil {
+		seg = &relSeg{rel: f.Rel, byID: make(map[string]int)}
+		fresh = true
 	}
-	d.present[id] = true
-	pos := len(d.facts)
-	d.facts = append(d.facts, f)
-	d.byRel[f.Rel.Name] = append(d.byRel[f.Rel.Name], pos)
 	bid := f.BlockID()
-	if _, seen := d.byBlock[bid]; !seen {
-		d.order = append(d.order, bid)
+	if bi, ok := seg.byID[bid]; ok {
+		for _, g := range seg.blocks[bi].Facts {
+			if g.Equal(f) {
+				return false
+			}
+		}
+		if seg.shared {
+			seg = seg.clone()
+			d.rels[name] = seg
+		}
+		blk := &seg.blocks[bi]
+		if seg.cow {
+			fs := make([]Fact, len(blk.Facts), len(blk.Facts)+1)
+			copy(fs, blk.Facts)
+			blk.Facts = append(fs, f)
+		} else {
+			blk.Facts = append(blk.Facts, f)
+		}
+	} else {
+		if seg.shared {
+			seg = seg.clone()
+			d.rels[name] = seg
+		}
+		seg.byID[bid] = len(seg.blocks)
+		seg.blocks = append(seg.blocks, Block{ID: bid, Facts: []Fact{f}})
+		d.nblocks++
 	}
-	d.byBlock[bid] = append(d.byBlock[bid], pos)
+	if fresh {
+		d.rels[name] = seg
+		d.appendRelOrder(name)
+	}
+	if f.Rel != seg.rel {
+		seg.mixed = true
+	}
+	if seg.facts != nil {
+		seg.facts = append(seg.facts, f)
+	} else if len(seg.blocks) == 1 && len(seg.blocks[0].Facts) == 1 {
+		seg.facts = []Fact{f}
+	} else {
+		seg.lazyFacts.Store(nil)
+	}
+	if d.log != nil || d.nfacts == 0 {
+		d.log = append(d.log, f)
+	}
+	d.nfacts++
 	d.ResetCaches()
 	return true
 }
 
+// appendRelOrder extends the first-seen relation order, copying first
+// when the slice is aliased by another version.
+func (d *DB) appendRelOrder(name string) {
+	if d.sharedOrder {
+		d.relOrder = append(append(make([]string, 0, len(d.relOrder)+1), d.relOrder...), name)
+		d.sharedOrder = false
+		return
+	}
+	d.relOrder = append(d.relOrder, name)
+}
+
 // Has reports whether the fact is in the database.
-func (d *DB) Has(f Fact) bool { return d.present[f.ID()] }
+func (d *DB) Has(f Fact) bool {
+	seg := d.rels[f.Rel.Name]
+	if seg == nil {
+		return false
+	}
+	bi, ok := seg.byID[f.BlockID()]
+	if !ok {
+		return false
+	}
+	for _, g := range seg.blocks[bi].Facts {
+		if g.Equal(f) {
+			return true
+		}
+	}
+	return false
+}
 
 // Len returns the number of facts.
-func (d *DB) Len() int { return len(d.facts) }
+func (d *DB) Len() int { return d.nfacts }
 
-// Facts returns all facts in insertion order. The caller must not modify
-// the returned slice.
-func (d *DB) Facts() []Fact { return d.facts }
+// Facts returns all facts. For databases built by Add the order is the
+// global insertion order; Apply-derived versions group facts by relation
+// (first-seen relation order, then block order, then within-block
+// insertion order). The caller must not modify the returned slice.
+func (d *DB) Facts() []Fact {
+	if d.log != nil {
+		return d.log
+	}
+	if d.nfacts == 0 {
+		return nil
+	}
+	return d.index().facts
+}
 
 // FactsOf returns the facts of the named relation in insertion order.
 // The returned slice is memoized and shared; the caller must not modify
 // it.
 func (d *DB) FactsOf(relName string) []Fact {
-	return d.index().relFacts[relName]
+	seg := d.rels[relName]
+	if seg == nil {
+		return nil
+	}
+	return seg.factsView()
 }
 
 // Relations returns the relation names present in the database, sorted.
 func (d *DB) Relations() []string {
-	names := make([]string, 0, len(d.byRel))
-	for n, ps := range d.byRel {
-		if len(ps) > 0 {
+	names := make([]string, 0, len(d.rels))
+	for n, seg := range d.rels {
+		if len(seg.blocks) > 0 {
 			names = append(names, n)
 		}
 	}
@@ -283,27 +435,32 @@ func (d *DB) Relations() []string {
 	return names
 }
 
-// Blocks returns all blocks in first-seen order. The returned slice and
-// the fact slices inside are memoized and shared; the caller must not
-// modify them.
+// Blocks returns all blocks, grouped by relation in first-seen order.
+// The returned slice and the fact slices inside are memoized and shared;
+// the caller must not modify them.
 func (d *DB) Blocks() []Block {
 	return d.index().blocks
 }
 
 // BlocksOf returns the blocks of the named relation in first-seen order.
-// The returned slice is memoized and shared; the caller must not modify
-// it.
+// The returned slice is shared with the database; the caller must not
+// modify it.
 func (d *DB) BlocksOf(relName string) []Block {
-	return d.index().relBlocks[relName]
+	seg := d.rels[relName]
+	if seg == nil || len(seg.blocks) == 0 {
+		return nil
+	}
+	return seg.blocks
 }
 
 // BlockOf returns block(A, db): the block containing the given fact
 // (facts key-equal to it, whether or not A itself is present).
 func (d *DB) BlockOf(f Fact) Block {
 	bid := f.BlockID()
-	ix := d.index()
-	if pos, ok := ix.byID[bid]; ok {
-		return ix.blocks[pos]
+	if seg := d.rels[f.Rel.Name]; seg != nil {
+		if bi, ok := seg.byID[bid]; ok {
+			return seg.blocks[bi]
+		}
 	}
 	return Block{ID: bid, Facts: nil}
 }
@@ -324,26 +481,31 @@ func (d *DB) BlockByKey(relName string, key []query.Const) (Block, bool) {
 			return blk, ok
 		}
 	}
+	seg := d.rels[relName]
+	if seg == nil {
+		return Block{}, false
+	}
 	var b strings.Builder
 	b.WriteString(relName)
 	for _, c := range key {
 		b.WriteByte('\x00')
 		b.WriteString(string(c))
 	}
-	ix := d.index()
-	pos, ok := ix.byID[b.String()]
+	bi, ok := seg.byID[b.String()]
 	if !ok {
 		return Block{}, false
 	}
-	return ix.blocks[pos], true
+	return seg.blocks[bi], true
 }
 
 // Consistent reports whether no two distinct facts are key-equal, i.e.
 // every block is a singleton.
 func (d *DB) Consistent() bool {
-	for _, ps := range d.byBlock {
-		if len(ps) > 1 {
-			return false
+	for _, seg := range d.rels {
+		for _, b := range seg.blocks {
+			if len(b.Facts) > 1 {
+				return false
+			}
 		}
 	}
 	return true
@@ -352,25 +514,29 @@ func (d *DB) Consistent() bool {
 // ConsistentFor reports whether every relation with mode c is consistent,
 // the legality condition for inputs to CERTAINTY(q) with mode-c relations.
 func (d *DB) ConsistentFor() bool {
-	for _, ps := range d.byBlock {
-		if len(ps) > 1 && d.facts[ps[0]].Rel.Mode == schema.ModeC {
-			return false
+	for _, seg := range d.rels {
+		for _, b := range seg.blocks {
+			if len(b.Facts) > 1 && b.Facts[0].Rel.Mode == schema.ModeC {
+				return false
+			}
 		}
 	}
 	return true
 }
 
 // NumBlocks returns the number of blocks.
-func (d *DB) NumBlocks() int { return len(d.order) }
+func (d *DB) NumBlocks() int { return d.nblocks }
 
 // NumRepairs returns the number of repairs (the product of block sizes) as
 // a float64; it saturates at +Inf on overflow.
 func (d *DB) NumRepairs() float64 {
 	n := 1.0
-	for _, ps := range d.byBlock {
-		n *= float64(len(ps))
-		if math.IsInf(n, 1) {
-			return n
+	for _, seg := range d.rels {
+		for _, b := range seg.blocks {
+			n *= float64(len(b.Facts))
+			if math.IsInf(n, 1) {
+				return n
+			}
 		}
 	}
 	return n
@@ -386,7 +552,7 @@ func (d *DB) ActiveDomain() []query.Const {
 // Clone returns an independent copy of the database.
 func (d *DB) Clone() *DB {
 	c := New()
-	for _, f := range d.facts {
+	for _, f := range d.Facts() {
 		c.Add(f)
 	}
 	return c
@@ -395,7 +561,7 @@ func (d *DB) Clone() *DB {
 // Filter returns a new database with the facts satisfying keep.
 func (d *DB) Filter(keep func(Fact) bool) *DB {
 	c := New()
-	for _, f := range d.facts {
+	for _, f := range d.Facts() {
 		if keep(f) {
 			c.Add(f)
 		}
@@ -442,10 +608,11 @@ func (d *DB) Repairs(yield func([]Fact) bool) {
 	rec(0)
 }
 
-// String renders the database one fact per line in insertion order.
+// String renders the database one fact per line (see Facts for the
+// order).
 func (d *DB) String() string {
 	var b strings.Builder
-	for i, f := range d.facts {
+	for i, f := range d.Facts() {
 		if i > 0 {
 			b.WriteByte('\n')
 		}

@@ -14,6 +14,7 @@ import (
 	"cqa/internal/db"
 	"cqa/internal/match"
 	"cqa/internal/query"
+	"cqa/internal/schema"
 	"cqa/internal/shard"
 )
 
@@ -29,6 +30,11 @@ type EvalResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Iterations  int     `json:"iterations"`
+	// P50Ns/P99Ns are hand-sampled per-op latency percentiles; set only
+	// on the mutation rows, where tail latency (not just the mean) is the
+	// serving-relevant number for a group-committed write path.
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
 }
 
 // EvalReport is the file layout of BENCH_eval.json.
@@ -54,8 +60,24 @@ const (
 		"answers-flat/answers-sharded: certain answers of x on a large certain chain — the " +
 		"monolithic sweep vs the key-partitioned scatter-gather (per-shard columnar span sweeps " +
 		"merged by sorted key) at increasing shard counts; the pool is built and warmed outside " +
-		"the timed loop, as the serving layer caches it per snapshot version."
+		"the timed loop, as the serving layer caches it per snapshot version. " +
+		"mutate-apply/mutate-rebuild: one single-fact delta against the warm instance — the MVCC " +
+		"structural-sharing Apply (touched relation respliced, untouched columns aliased) vs " +
+		"rebuilding the database and its columnar view from the full fact list; p50_ns/p99_ns are " +
+		"hand-sampled per-op latencies. mutate-read: the warm certain decision on the Apply-derived " +
+		"version — the write-then-read freshness path, which must stay on the inherited interned " +
+		"walk (allocs_per_op must be 0, because the delta touched only a relation the query never reads)."
 )
+
+// evalMutationBlocks is the instance size of the mutation rows: the
+// acceptance scale is 100k blocks (quick shrinks it with the rest of
+// the sweep).
+func evalMutationBlocks(quick bool) int {
+	if quick {
+		return 10000
+	}
+	return 100000
+}
 
 // evalShardSweep is the fan-outs of the sharded answers scaling rows.
 var evalShardSweep = []int{1, 2, 4, 8}
@@ -262,6 +284,10 @@ func RunEval(quick bool) (*EvalReport, error) {
 		}
 	})
 	record("answers-flat", sd.NumBlocks(), "warm", 0, 0, flat)
+	if err := runMutationEval(q, plan, quick, rep); err != nil {
+		return nil, err
+	}
+
 	for _, k := range evalShardSweep {
 		pool := shard.NewPool(sd, k, shard.PoolOptions{})
 		if err := waitPoolBuilt(pool); err != nil {
@@ -280,6 +306,129 @@ func RunEval(quick bool) (*EvalReport, error) {
 		record("answers-sharded", sd.NumBlocks(), "warm", 0, k, r)
 	}
 	return rep, nil
+}
+
+// runMutationEval measures the incremental mutation path at the
+// acceptance scale: a single-fact delta against a warm instance, applied
+// three ways. mutate-apply is the MVCC structural-sharing path — the
+// delta touches a scratch relation T the chain query never reads, so
+// Apply resplices only T's columns and aliases R and S wholesale.
+// mutate-rebuild is the same logical update done the pre-delta way:
+// reconstruct the database from its full fact list and rebuild the
+// columnar view. mutate-read is the warm certain decision on the
+// Apply-derived version, which must run the inherited interned walk
+// without allocating (write-then-read freshness on untouched relations).
+func runMutationEval(q query.Query, plan *core.Plan, quick bool, rep *EvalReport) error {
+	blocks := evalMutationBlocks(quick)
+	d := evalFalsifiedChainDB(q, blocks)
+	tRel := schema.NewRelation("T", 2, 1)
+	d.Add(db.Fact{Rel: tRel, Args: []query.Const{"t0", "v0"}})
+	ix := match.NewIndex(d)
+	if res, err := plan.CertainIndexed(ix, core.Options{}); err != nil || res.Certain {
+		return fmt.Errorf("experiments: mutation instance (%d blocks) not falsified: %v, %v", blocks, res.Certain, err)
+	}
+
+	var delta db.Delta
+	delta.Insert(db.Fact{Rel: tRel, Args: []query.Const{"t1", "v1"}})
+	delta.Delete(db.Fact{Rel: tRel, Args: []query.Const{"t0", "v0"}})
+
+	// Every op applies the same delta to the same (immutable) parent, so
+	// each iteration pays exactly one structural-sharing derivation.
+	apply := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Apply(delta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	p50, p99 := samplePercentiles(200, func() error {
+		_, err := d.Apply(delta)
+		return err
+	})
+	rep.Results = append(rep.Results, EvalResult{
+		Name: "mutate-apply", Blocks: blocks, Index: "warm",
+		NsPerOp: float64(apply.NsPerOp()), AllocsPerOp: apply.AllocsPerOp(),
+		BytesPerOp: apply.AllocedBytesPerOp(), Iterations: apply.N,
+		P50Ns: p50, P99Ns: p99,
+	})
+
+	// The rebuild baseline: the same logical update without structural
+	// sharing — re-add every fact into a fresh database and rebuild the
+	// columnar view from scratch.
+	facts := d.Facts()
+	rebuildReps := 20
+	if quick {
+		rebuildReps = 5
+	}
+	rebuild := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nd := db.New()
+			for _, f := range facts {
+				if f.Rel.Name == tRel.Name && f.Args[0] == "t0" {
+					continue
+				}
+				nd.Add(f)
+			}
+			nd.Add(db.Fact{Rel: tRel, Args: []query.Const{"t1", "v1"}})
+			nd.Columnar()
+		}
+	})
+	rp50, rp99 := samplePercentiles(rebuildReps, func() error {
+		nd := db.New()
+		for _, f := range facts {
+			nd.Add(f)
+		}
+		nd.Columnar()
+		return nil
+	})
+	rep.Results = append(rep.Results, EvalResult{
+		Name: "mutate-rebuild", Blocks: blocks, Index: "cold",
+		NsPerOp: float64(rebuild.NsPerOp()), AllocsPerOp: rebuild.AllocsPerOp(),
+		BytesPerOp: rebuild.AllocedBytesPerOp(), Iterations: rebuild.N,
+		P50Ns: rp50, P99Ns: rp99,
+	})
+
+	// Write-then-read: decide the query on the freshly derived version.
+	child, err := d.Apply(delta)
+	if err != nil {
+		return err
+	}
+	cix := match.NewIndex(child)
+	if res, err := plan.CertainIndexed(cix, core.Options{}); err != nil || res.Certain {
+		return fmt.Errorf("experiments: derived mutation instance changed the answer: %v, %v", res.Certain, err)
+	}
+	read := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.CertainIndexed(cix, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Results = append(rep.Results, EvalResult{
+		Name: "mutate-read", Blocks: blocks, Index: "warm",
+		NsPerOp: float64(read.NsPerOp()), AllocsPerOp: read.AllocsPerOp(),
+		BytesPerOp: read.AllocedBytesPerOp(), Iterations: read.N,
+	})
+	return nil
+}
+
+// samplePercentiles times n runs of fn and returns the p50 and p99
+// per-run latencies in nanoseconds.
+func samplePercentiles(n int, fn func() error) (p50, p99 float64) {
+	samples := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, 0
+		}
+		samples = append(samples, float64(time.Since(start).Nanoseconds()))
+	}
+	sort.Float64s(samples)
+	idx := func(p float64) float64 { return samples[int(p*float64(len(samples)-1))] }
+	return idx(0.50), idx(0.99)
 }
 
 // waitPoolBuilt blocks until every shard index of the pool finished
@@ -331,6 +480,11 @@ func ValidateEvalJSON(path string, quick bool) error {
 	for _, blocks := range evalRowSizes(quick) {
 		missing[fmt.Sprintf("certain-row/%d/warm", blocks)] = true
 	}
+	mutBlocks := evalMutationBlocks(quick)
+	missing[fmt.Sprintf("mutate-apply/%d/warm", mutBlocks)] = true
+	missing[fmt.Sprintf("mutate-rebuild/%d/cold", mutBlocks)] = true
+	missing[fmt.Sprintf("mutate-read/%d/warm", mutBlocks)] = true
+	var applyNs, rebuildNs float64
 	answersSeq, answersPool := false, false
 	shardMissing := map[int]bool{}
 	for _, k := range evalShardSweep {
@@ -353,6 +507,31 @@ func ValidateEvalJSON(path string, quick bool) error {
 			}
 		case "certain-row":
 			delete(missing, fmt.Sprintf("certain-row/%d/%s", res.Blocks, res.Index))
+		case "mutate-apply":
+			delete(missing, fmt.Sprintf("mutate-apply/%d/%s", res.Blocks, res.Index))
+			if res.Blocks == mutBlocks {
+				applyNs = res.NsPerOp
+			}
+			// The mutation rows carry hand-sampled tail latencies — the
+			// serving-relevant numbers for a group-committed write path.
+			if res.P50Ns <= 0 || res.P99Ns < res.P50Ns {
+				return fmt.Errorf("%s: results[%d] mutate-apply/%d lacks sane p50/p99 latencies (regenerate with -evaljson)",
+					path, i, res.Blocks)
+			}
+		case "mutate-rebuild":
+			delete(missing, fmt.Sprintf("mutate-rebuild/%d/%s", res.Blocks, res.Index))
+			if res.Blocks == mutBlocks {
+				rebuildNs = res.NsPerOp
+			}
+		case "mutate-read":
+			delete(missing, fmt.Sprintf("mutate-read/%d/%s", res.Blocks, res.Index))
+			// Write-then-read freshness: a delta that touched only a
+			// relation the query never reads must leave the warm decision
+			// on the inherited interned walk — zero allocations.
+			if res.AllocsPerOp != 0 {
+				return fmt.Errorf("%s: results[%d] mutate-read/%d reports %d allocs/op; reads on an Apply-derived version must stay on the interned path (regenerate with -evaljson)",
+					path, i, res.Blocks, res.AllocsPerOp)
+			}
 		case "answers":
 			if res.Workers == 1 {
 				answersSeq = true
@@ -393,6 +572,16 @@ func ValidateEvalJSON(path string, quick bool) error {
 	}
 	if shardedBlocks != flatBlocks {
 		return fmt.Errorf("%s: answers-sharded rows (%d blocks) measure a different instance than answers-flat (%d blocks)", path, shardedBlocks, flatBlocks)
+	}
+	// The structural-sharing acceptance ratio: at the full 100k-block
+	// scale a single-fact Apply must beat the full rebuild by at least
+	// 50x. Quick runs measure a smaller instance where the constant
+	// factors dominate, so the ratio is only enforced on the full sweep.
+	if !quick && applyNs > 0 && rebuildNs > 0 {
+		if ratio := rebuildNs / applyNs; ratio < 50 {
+			return fmt.Errorf("%s: mutate-apply is only %.1fx faster than mutate-rebuild at %d blocks; the structural-sharing path must stay >=50x ahead (regenerate with -evaljson)",
+				path, ratio, mutBlocks)
+		}
 	}
 	return nil
 }

@@ -54,8 +54,31 @@ type ilevel struct {
 type iprog struct {
 	ok     bool
 	levels []ilevel
+	names  []string // relation name per level, for ValidFor
 	maxKey int
 }
+
+// ValidFor implements db.ViewProg: a compiled program stays valid for a
+// derived view exactly when every level's columnar relation is the same
+// object there — Apply aliases untouched relations' ColRels into the
+// child view, so programs over untouched relations carry over (along
+// with their cached zero-alloc evaluation state), and any touched
+// relation forces a recompile. Interned constants need no check: the
+// symbol table is shared and append-only across derived views.
+func (p *iprog) ValidFor(c *db.ColDB) bool {
+	if !p.ok {
+		return false
+	}
+	for i := range p.levels {
+		cr, regular := c.Rel(p.names[i])
+		if !regular || cr != p.levels[i].rel {
+			return false
+		}
+	}
+	return true
+}
+
+var _ db.ViewProg = (*iprog)(nil)
 
 // prog returns the program of this eliminator against the view,
 // compiling and caching it on first use. The cache lives on the view
@@ -70,13 +93,14 @@ func (e *Eliminator) prog(c *db.ColDB) *iprog {
 }
 
 func (e *Eliminator) compileInterned(c *db.ColDB) *iprog {
-	p := &iprog{ok: true, levels: make([]ilevel, len(e.order))}
+	p := &iprog{ok: true, levels: make([]ilevel, len(e.order)), names: make([]string, len(e.order))}
 	for li, a := range e.order {
 		cr, regular := c.Rel(a.Rel.Name)
 		if !regular || (cr != nil && cr.Relation != a.Rel) {
 			p.ok = false
 			return p
 		}
+		p.names[li] = a.Rel.Name
 		terms := func(ts []query.Term) []iterm {
 			out := make([]iterm, len(ts))
 			for i, t := range ts {

@@ -32,6 +32,12 @@ type metrics struct {
 	panics atomic.Uint64
 	// degraded counts coNP evaluations that fell back to sampling.
 	degraded atomic.Uint64
+	// mutations counts committed delta writes (POST /v1/db/{name}/facts
+	// requests that published or idempotently reached a version).
+	mutations atomic.Uint64
+	// applyHist is the latency histogram of delta commits, covering
+	// parse + group commit + MVCC apply + publish.
+	applyHist *trace.Histogram
 	// byClass holds one evaluation-latency histogram per complexity
 	// class (fo / ptime / conp — the trichotomy makes the class the
 	// dominant latency predictor, so it is the one label worth a
@@ -42,8 +48,9 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: make(map[string]*atomic.Uint64),
-		errors:   make(map[string]*atomic.Uint64),
+		requests:  make(map[string]*atomic.Uint64),
+		errors:    make(map[string]*atomic.Uint64),
+		applyHist: trace.NewHistogram(nil),
 		byClass: map[string]*trace.Histogram{
 			"fo":    trace.NewHistogram(nil),
 			"ptime": trace.NewHistogram(nil),
@@ -211,6 +218,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "cqa_indexcache_misses_total %d\n", ixst.Misses())
 	fmt.Fprintf(&b, "cqa_indexcache_building %d\n", ixst.Building())
 	fmt.Fprintf(&b, "cqa_store_databases %d\n", s.store.Len())
+	fmt.Fprintf(&b, "cqa_db_mutations_total %d\n", s.metrics.mutations.Load())
+	ah := s.metrics.applyHist.Snapshot()
+	for i, bound := range ah.Bounds {
+		fmt.Fprintf(&b, "cqa_db_apply_duration_seconds_bucket{le=%q} %d\n",
+			formatBound(bound), ah.Cumulative[i])
+	}
+	fmt.Fprintf(&b, "cqa_db_apply_duration_seconds_bucket{le=\"+Inf\"} %d\n", ah.Inf)
+	fmt.Fprintf(&b, "cqa_db_apply_duration_seconds_sum %g\n", ah.SumSeconds)
+	fmt.Fprintf(&b, "cqa_db_apply_duration_seconds_count %d\n", ah.Count)
 
 	sst := s.store.ShardStats()
 	fmt.Fprintf(&b, "cqa_shard_building %d\n", sst.Building)

@@ -14,6 +14,7 @@
 //	POST   /v1/rewrite    {"query": q, "dialect": "logic|sql"} -> FO rewriting
 //	GET    /v1/catalog                                        -> literature catalog
 //	PUT    /v1/db/{name}  (text/plain facts)                  -> publish snapshot
+//	POST   /v1/db/{name}/facts {"insert": ..., "delete": ...} -> delta write (next version)
 //	GET    /v1/db/{name}, DELETE /v1/db/{name}, GET /v1/db    -> registry ops
 //	GET    /healthz, GET /metrics                             -> liveness, counters
 package server
@@ -207,6 +208,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/answers", s.instrument("answers", true, s.handleAnswers))
 	mux.Handle("POST /v1/rewrite", s.instrument("rewrite", true, s.handleRewrite))
 	mux.Handle("PUT /v1/db/{name}", s.instrument("db-put", false, s.handleDBPut))
+	mux.Handle("POST /v1/db/{name}/facts", s.instrument("db-mutate", false, s.handleDBMutate))
 	mux.Handle("GET /v1/db/{name}", s.instrument("db-get", false, s.handleDBGet))
 	mux.Handle("DELETE /v1/db/{name}", s.instrument("db-delete", false, s.handleDBDelete))
 	mux.Handle("GET /v1/db", s.instrument("db-list", false, s.handleDBList))
@@ -311,6 +313,20 @@ type catalogEntry struct {
 	Query  string `json:"query"`
 	Class  string `json:"class"`
 	Source string `json:"source"`
+}
+
+// mutateRequest is a delta write: rendered facts (the upload syntax,
+// one fact per string). Deletes apply first, then upserts (each entry
+// the complete new contents of one block), then inserts.
+type mutateRequest struct {
+	Insert []string   `json:"insert,omitempty"`
+	Delete []string   `json:"delete,omitempty"`
+	Upsert [][]string `json:"upsert,omitempty"`
+}
+
+type mutateResponse struct {
+	DB    snapshotInfo  `json:"db"`
+	Stats db.ApplyStats `json:"stats"`
 }
 
 type snapshotInfo struct {
@@ -822,8 +838,11 @@ func snapshotJSON(snap *store.Snapshot) snapshotInfo {
 
 func (s *Server) handleDBPut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
+		if bodyTooLarge(w, err) {
+			return
+		}
 		httpError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
@@ -833,6 +852,85 @@ func (s *Server) handleDBPut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snapshotJSON(snap))
+}
+
+// bodyTooLarge maps a MaxBytesReader trip to the 413 of the error
+// taxonomy; it reports whether err was that trip.
+func bodyTooLarge(w http.ResponseWriter, err error) bool {
+	var mbe *http.MaxBytesError
+	if !errors.As(err, &mbe) {
+		return false
+	}
+	httpErrorCode(w, http.StatusRequestEntityTooLarge, "body_too_large",
+		"request body exceeds the %d byte limit", mbe.Limit)
+	return true
+}
+
+// handleDBMutate applies a delta write to the named database: the facts
+// named in delete leave, each upsert block replaces the full contents of
+// its block, and the facts in insert join — in that order, so a request
+// can atomically move a fact between blocks. The store group-commits
+// concurrent deltas per name; the response carries the version the
+// write is visible in (write-then-read requests against that version
+// see the mutation immediately) plus the commit's net statistics.
+func (s *Server) handleDBMutate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req mutateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		if bodyTooLarge(w, err) {
+			return
+		}
+		httpError(w, http.StatusBadRequest, "malformed JSON body: %v", err)
+		return
+	}
+	if len(req.Insert) == 0 && len(req.Delete) == 0 && len(req.Upsert) == 0 {
+		httpError(w, http.StatusBadRequest,
+			"empty delta: set \"insert\", \"delete\", or \"upsert\"")
+		return
+	}
+	start := time.Now()
+	var delta db.Delta
+	for _, line := range req.Delete {
+		f, err := db.ParseFact(nil, line)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "delete: %v", err)
+			return
+		}
+		delta.Delete(f)
+	}
+	for _, blk := range req.Upsert {
+		fs := make([]db.Fact, len(blk))
+		for i, line := range blk {
+			f, err := db.ParseFact(nil, line)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "upsert: %v", err)
+				return
+			}
+			fs[i] = f
+		}
+		delta.UpsertBlock(fs)
+	}
+	for _, line := range req.Insert {
+		f, err := db.ParseFact(nil, line)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "insert: %v", err)
+			return
+		}
+		delta.Insert(f)
+	}
+	snap, res, err := s.store.ApplyDelta(name, delta)
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		httpError(w, http.StatusNotFound, "unknown database %q", name)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.metrics.mutations.Add(1)
+	s.metrics.applyHist.Observe(time.Since(start))
+	writeJSON(w, http.StatusOK, mutateResponse{DB: snapshotJSON(snap), Stats: res.Stats})
 }
 
 func (s *Server) handleDBGet(w http.ResponseWriter, r *http.Request) {

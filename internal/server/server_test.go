@@ -375,3 +375,105 @@ func TestConcurrentCertainAndUploads(t *testing.T) {
 		t.Error("no cache hits under concurrency")
 	}
 }
+
+func TestDBMutateEndpoint(t *testing.T) {
+	h := newTestServer().Handler()
+	if rec := do(t, h, "PUT", "/v1/db/prod", "R(a | 1)\nR(a | 2)\nS(1 | z)\n", nil); rec.Code != 200 {
+		t.Fatalf("put: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp mutateResponse
+	rec := do(t, h, "POST", "/v1/db/prod/facts",
+		`{"insert": ["R(b | 1)"], "delete": ["R(a | 2)"], "upsert": [["S(1 | z)", "S(1 | w)"]]}`, &resp)
+	if rec.Code != 200 {
+		t.Fatalf("mutate: %d %s", rec.Code, rec.Body.String())
+	}
+	if resp.DB.Version != 2 || resp.DB.Facts != 4 {
+		t.Errorf("db = %+v", resp.DB)
+	}
+	if resp.Stats.Inserted != 3 || resp.Stats.Deleted != 2 || resp.Stats.Upserts != 1 {
+		t.Errorf("stats = %+v", resp.Stats)
+	}
+
+	// Write-then-read: a query against the name sees the new version.
+	var cert certainResponse
+	rec = do(t, h, "POST", "/v1/certain", `{"query": "R(x | y), S(y | z)", "db": "prod"}`, &cert)
+	if rec.Code != 200 {
+		t.Fatalf("certain: %d %s", rec.Code, rec.Body.String())
+	}
+	if cert.DB == nil || cert.DB.Version != 2 {
+		t.Errorf("read saw %+v, want version 2", cert.DB)
+	}
+	if !cert.Certain {
+		// R(b | 1) joins S(1 | z) and S(1 | w)... but block S(1) is now
+		// uncertain between z and w; block R(a) is the singleton R(a | 1)
+		// joining S(1)'s block too. Every repair keeps one S(1 | *) fact,
+		// and both satisfy the join, so the query is certain.
+		t.Error("mutated database should certainly satisfy the query")
+	}
+
+	// An idempotent replay publishes nothing new.
+	var again mutateResponse
+	do(t, h, "POST", "/v1/db/prod/facts", `{"insert": ["R(b | 1)"]}`, &again)
+	if again.DB.Version != 2 || again.Stats.Noops != 1 {
+		t.Errorf("idempotent mutate = %+v", again)
+	}
+
+	rec = do(t, h, "GET", "/metrics", "", nil)
+	for _, frag := range []string{"cqa_db_mutations_total 2", "cqa_db_apply_duration_seconds_count 2"} {
+		if !strings.Contains(rec.Body.String(), frag) {
+			t.Errorf("metrics missing %q", frag)
+		}
+	}
+}
+
+func TestDBMutateErrors(t *testing.T) {
+	h := newTestServer().Handler()
+	if rec := do(t, h, "POST", "/v1/db/ghost/facts", `{"insert": ["R(a | 1)"]}`, nil); rec.Code != 404 {
+		t.Errorf("unknown db: %d", rec.Code)
+	}
+	do(t, h, "PUT", "/v1/db/prod", "R(a | 1)\nT#c(k | 1)\n", nil)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{}`, 400},                                     // empty delta
+		{`{"insert": ["R(a | "]}`, 400},                 // malformed fact
+		{`{"delete": ["R(a | "]}`, 400},                 // malformed fact
+		{`{"upsert": [["R(a | 1)", "R(b | 1)"]]}`, 400}, // key-mixing block
+		{`{"upsert": [[]]}`, 400},                       // empty block
+		{`{"insert": ["T#c(k | 2)"]}`, 400},             // mode-c violation
+		{`not json`, 400},
+	}
+	for _, c := range cases {
+		if rec := do(t, h, "POST", "/v1/db/prod/facts", c.body, nil); rec.Code != c.want {
+			t.Errorf("%s: %d, want %d (%s)", c.body, rec.Code, c.want, rec.Body.String())
+		}
+	}
+	// Nothing published along the way.
+	var info snapshotInfo
+	do(t, h, "GET", "/v1/db/prod", "", &info)
+	if info.Version != 1 {
+		t.Errorf("version = %d after rejected deltas", info.Version)
+	}
+}
+
+func TestDBBodyTooLarge(t *testing.T) {
+	h := newTestServer().Handler()
+	big := strings.Repeat("x", maxBodyBytes+1)
+	rec := do(t, h, "PUT", "/v1/db/prod", big, nil)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("put: %d", rec.Code)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Code != "body_too_large" {
+		t.Errorf("put error envelope = %+v (%v)", er, err)
+	}
+	do(t, h, "PUT", "/v1/db/prod", "R(a | 1)\n", nil)
+	rec = do(t, h, "POST", "/v1/db/prod/facts", `{"insert": ["`+big+`"]}`, nil)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("mutate: %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Code != "body_too_large" {
+		t.Errorf("mutate error envelope = %+v (%v)", er, err)
+	}
+}

@@ -1,0 +1,235 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"cqa/internal/db"
+	"cqa/internal/faultinject"
+	"cqa/internal/query"
+	"cqa/internal/schema"
+)
+
+// partitionFingerprint renders every shard's partition (row blocks and
+// columnar spans) in a canonical form, for comparing a derived pool
+// against a cold rebuild.
+func partitionFingerprint(t *testing.T, p *Pool) []string {
+	t.Helper()
+	waitBuilt(t, p)
+	var out []string
+	for _, s := range p.shards {
+		if !s.built.Load() {
+			t.Fatalf("shard %d not built", s.id)
+		}
+		for rel, blocks := range s.blocks {
+			for _, b := range blocks {
+				facts := make([]string, len(b.Facts))
+				for i, f := range b.Facts {
+					facts[i] = f.String()
+				}
+				sort.Strings(facts)
+				out = append(out, fmt.Sprintf("s%d %s %q %v", s.id, rel, b.ID, facts))
+			}
+		}
+		for rel, sp := range s.spans {
+			out = append(out, fmt.Sprintf("s%d spans %s %d", s.id, rel, len(sp)))
+			// Spans must point at blocks this shard owns in the columnar
+			// view of the pool's database.
+			col := p.db.Columnar()
+			cr, ok := col.Rel(rel)
+			if !ok {
+				t.Fatalf("shard %d has spans for irregular relation %s", s.id, rel)
+			}
+			for _, bi := range sp {
+				if cr == nil || Of(cr.Blocks[bi].ID, p.n) != s.id {
+					t.Fatalf("shard %d span %d of %s not owned", s.id, bi, rel)
+				}
+			}
+		}
+		out = append(out, fmt.Sprintf("s%d total %d", s.id, s.numBlocks))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// spanCoverage maps each regular relation to the total number of spans
+// across shards — must equal the columnar block count.
+func checkSpanCoverage(t *testing.T, p *Pool) {
+	t.Helper()
+	col := p.db.Columnar()
+	for _, name := range col.RelNames() {
+		cr, _ := col.Rel(name)
+		total := 0
+		for _, s := range p.shards {
+			sp, ok := s.spans[name]
+			if !ok {
+				t.Fatalf("shard %d missing spans entry for %s", s.id, name)
+			}
+			total += len(sp)
+		}
+		if total != cr.Rel.NumBlocks() {
+			t.Fatalf("%s: %d spans across shards, %d columnar blocks", name, total, cr.Rel.NumBlocks())
+		}
+	}
+}
+
+// TestDeriveMatchesRebuild drives random mutation chains and checks the
+// derived pool's partition is identical to a cold NewPool build of the
+// same version.
+func TestDeriveMatchesRebuild(t *testing.T) {
+	relR := schema.NewRelation("R", 2, 1)
+	relS := schema.NewRelation("S", 3, 2)
+	rng := rand.New(rand.NewSource(11))
+	randFact := func() db.Fact {
+		if rng.Intn(2) == 0 {
+			return db.NewFact(relR,
+				query.Const(fmt.Sprintf("k%d", rng.Intn(12))),
+				query.Const(fmt.Sprintf("v%d", rng.Intn(4))))
+		}
+		return db.NewFact(relS,
+			query.Const(fmt.Sprintf("a%d", rng.Intn(6))),
+			query.Const(fmt.Sprintf("b%d", rng.Intn(6))),
+			query.Const(fmt.Sprintf("v%d", rng.Intn(4))))
+	}
+	for _, n := range []int{1, 3, 5} {
+		cur := db.New()
+		for i := 0; i < 20; i++ {
+			cur.Add(randFact())
+		}
+		pool := NewPool(cur, n, PoolOptions{})
+		waitBuilt(t, pool)
+		for step := 0; step < 6; step++ {
+			var delta db.Delta
+			for i := 0; i < 1+rng.Intn(5); i++ {
+				f := randFact()
+				if rng.Intn(3) == 0 {
+					delta.Delete(f)
+				} else {
+					delta.Insert(f)
+				}
+			}
+			child, res, err := cur.ApplyChanges(delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if child == cur {
+				continue
+			}
+			derived := pool.Derive(child, res.Changes)
+			if derived == nil {
+				t.Fatal("Derive returned nil on an open pool")
+			}
+			cold := NewPool(child, n, PoolOptions{})
+			got := partitionFingerprint(t, derived)
+			want := partitionFingerprint(t, cold)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d step %d: %d vs %d partition entries\n%v\n%v",
+					n, step, len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d step %d: partition differs:\n  derived %s\n  rebuilt %s",
+						n, step, got[i], want[i])
+				}
+			}
+			checkSpanCoverage(t, derived)
+			cold.Close()
+			pool.Close()
+			pool, cur = derived, child
+		}
+		pool.Close()
+	}
+}
+
+// TestDeriveServesQueries checks a derived pool evaluates correctly via
+// the public scatter path.
+func TestDeriveServesQueries(t *testing.T) {
+	d := testDB(t, `
+		R(a | 1)
+		R(b | 1)
+		R(c | 2)
+	`)
+	pool := NewPool(d, 3, PoolOptions{})
+	waitBuilt(t, pool)
+	relR := d.Blocks()[0].Facts[0].Rel
+	var delta db.Delta
+	delta.Insert(db.NewFact(relR, "d", "9"))
+	delta.Delete(db.NewFact(relR, "b", "1"))
+	child, res, err := d.ApplyChanges(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived := pool.Derive(child, res.Changes)
+	defer derived.Close()
+	defer pool.Close()
+	waitBuilt(t, derived)
+
+	total := 0
+	for i := 0; i < derived.N(); i++ {
+		v := &View{ID: i, DB: child, s: derived.shards[i]}
+		for _, b := range v.BlocksOf("R") {
+			total += len(b.Facts)
+		}
+	}
+	if total != 3 {
+		t.Errorf("derived pool sees %d facts, want 3", total)
+	}
+}
+
+// TestDeriveUnbuiltParent checks that shards whose parent build had not
+// completed rebuild in the background against the child, reported by the
+// Building gauge.
+func TestDeriveUnbuiltParent(t *testing.T) {
+	defer faultinject.Reset()
+	d := testDB(t, "R(a | 1)\nR(b | 2)")
+	// Fail shard 0's initial build so the parent ends with an unbuilt
+	// shard.
+	faultinject.SetWindow("shard.index.0", 0, 1, func(int) error { return errors.New("boom") })
+	pool := NewPool(d, 2, PoolOptions{})
+	for pool.Building() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	relR := d.Blocks()[0].Facts[0].Rel
+	var delta db.Delta
+	delta.Insert(db.NewFact(relR, "c", "3"))
+	child, res, err := d.ApplyChanges(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Reset()
+	derived := pool.Derive(child, res.Changes)
+	defer derived.Close()
+	defer pool.Close()
+	waitBuilt(t, derived)
+	got := partitionFingerprint(t, derived)
+	cold := NewPool(child, 2, PoolOptions{})
+	defer cold.Close()
+	want := partitionFingerprint(t, cold)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("partition differs after background rebuild:\n  %s\n  %s", got[i], want[i])
+		}
+	}
+}
+
+func TestDeriveClosedPoolReturnsNil(t *testing.T) {
+	d := testDB(t, "R(a | 1)")
+	pool := NewPool(d, 2, PoolOptions{})
+	waitBuilt(t, pool)
+	pool.Close()
+	relR := d.Blocks()[0].Facts[0].Rel
+	var delta db.Delta
+	delta.Insert(db.NewFact(relR, "b", "2"))
+	child, res, err := d.ApplyChanges(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := pool.Derive(child, res.Changes); p != nil {
+		p.Close()
+		t.Error("Derive on a closed pool should return nil")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"maps"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -112,6 +113,96 @@ func NewPool(d *db.DB, n int, opt PoolOptions) *Pool {
 		s.tasks <- func() { s.ensureBuilt(nil) } //nolint:errcheck // surfaces per-eval
 	}
 	return p
+}
+
+// Derive builds the pool of an Apply-derived snapshot from the parent's
+// pool without re-partitioning the database: every already-built parent
+// shard starts built, its partition patched only for the relations the
+// change set names (untouched relations alias the parent shard's block
+// lists and columnar spans). Parent shards whose initial build had not
+// finished — or had failed — rebuild in the background against the child
+// exactly as a fresh pool would, and the Building gauge reports that
+// partial rebuild to the readiness probe. Derive returns nil when the
+// parent pool is already closed; the caller falls back to NewPool.
+//
+// The child must be the result of applying the change set to the parent
+// pool's database. Derive only reads the parent, so it is safe to run
+// while the parent still serves requests.
+func (p *Pool) Derive(child *db.DB, ch *db.ChangeSet) *Pool {
+	p.mu.RLock()
+	closed := p.closed
+	p.mu.RUnlock()
+	if closed {
+		return nil
+	}
+	np := &Pool{db: child, n: p.n, hedge: p.hedge}
+	np.shards = make([]*shardState, p.n)
+	col := child.Columnar()
+	pending := int64(0)
+	for i, ps := range p.shards {
+		s := &shardState{
+			id:    i,
+			pool:  np,
+			tasks: make(chan func(), taskQueueCap),
+			hist:  trace.NewHistogram(nil),
+		}
+		np.shards[i] = s
+		if !ps.built.Load() {
+			pending++
+			continue
+		}
+		blocks := maps.Clone(ps.blocks)
+		if blocks == nil {
+			blocks = make(map[string][]db.Block)
+		}
+		spans := maps.Clone(ps.spans)
+		if spans == nil {
+			spans = make(map[string][]int32)
+		}
+		count := ps.numBlocks
+		for name := range ch.Rels {
+			old := len(blocks[name])
+			var nb []db.Block
+			for _, b := range child.BlocksOf(name) {
+				if len(b.Facts) > 0 && Of(b.ID, np.n) == i {
+					nb = append(nb, b)
+				}
+			}
+			if len(nb) == 0 {
+				delete(blocks, name)
+			} else {
+				blocks[name] = nb
+			}
+			count += len(nb) - old
+			if cr, regular := col.Rel(name); regular && cr != nil {
+				sp := []int32{}
+				for bi, blk := range cr.Blocks {
+					if Of(blk.ID, np.n) == i {
+						sp = append(sp, int32(bi))
+					}
+				}
+				spans[name] = sp
+			} else {
+				delete(spans, name)
+			}
+		}
+		s.blocks = blocks
+		s.spans = spans
+		s.numBlocks = count
+		s.initialBuildDone = true
+		s.built.Store(true)
+		s.health.Store(int32(HealthReady))
+	}
+	np.building.Store(pending)
+	for _, s := range np.shards {
+		s := s
+		np.wg.Add(1)
+		go s.workerLoop(&np.wg)
+		if !s.built.Load() {
+			s.tasks <- func() { s.ensureBuilt(nil) } //nolint:errcheck // surfaces per-eval
+		}
+	}
+	return np
 }
 
 // N returns the number of shards.

@@ -18,6 +18,7 @@ import (
 	"cqa/internal/match"
 	"cqa/internal/shard"
 	"cqa/internal/trace"
+	"cqa/internal/wal"
 )
 
 // Snapshot is one immutable version of a named database.
@@ -168,6 +169,11 @@ type Store struct {
 	mu    sync.RWMutex
 	dbs   map[string]*Snapshot
 	stats IndexStats
+
+	// muts holds the per-name group-commit serializers (see mutate.go).
+	muts map[string]*mutator
+	// wal, when set, journals every mutation before it publishes.
+	wal *wal.Log
 }
 
 // New returns an empty store.
@@ -199,6 +205,17 @@ func (s *Store) Put(name string, d *db.DB) *Snapshot {
 		// Asynchronously: Close drains the old pool's queued tasks, and
 		// the store lock must not wait behind a long evaluation.
 		go prev.ClosePool()
+	}
+	if s.wal != nil {
+		facts := d.Facts()
+		rec := wal.Record{Op: "put", Name: name, Version: snap.Version,
+			Facts: make([]string, len(facts))}
+		for i, f := range facts {
+			rec.Facts[i] = f.String()
+		}
+		if err := s.wal.Append(rec); err != nil {
+			panic(fmt.Errorf("store: wal append: %w", err))
+		}
 	}
 	s.dbs[name] = snap
 	return snap
@@ -233,6 +250,11 @@ func (s *Store) Delete(name string) bool {
 	defer s.mu.Unlock()
 	snap, ok := s.dbs[name]
 	if ok {
+		if s.wal != nil {
+			if err := s.wal.Append(wal.Record{Op: "delete", Name: name}); err != nil {
+				panic(fmt.Errorf("store: wal append: %w", err))
+			}
+		}
 		go snap.ClosePool()
 	}
 	delete(s.dbs, name)
