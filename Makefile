@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check chaos bench bench-smoke fuzz fuzz-smoke cover vet fmt experiments clean
+.PHONY: all build test test-short race check chaos chaos-net bench bench-smoke fuzz fuzz-smoke cover vet fmt experiments clean
 
 all: build test
 
@@ -25,7 +25,7 @@ race:
 # differential fuzz corpus, the coverage floors, and a one-iteration
 # smoke run of the evaluation benchmarks plus the BENCH_eval.json
 # freshness gate.
-check: build test bench-smoke fuzz-smoke cover
+check: build test bench-smoke fuzz-smoke cover chaos-net
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
 	$(GO) test -race ./internal/server ./internal/plancache ./internal/store ./internal/core ./internal/db ./internal/rewrite ./internal/trace ./internal/shard ./internal/sym ./internal/colstore
@@ -39,6 +39,16 @@ chaos:
 	$(GO) test -race ./internal/faultinject ./internal/evalctx
 	$(GO) test -race -run 'Cancel|Deadline|Budget|Leak|Fault|Shedding|Draining|Liveness|Readiness|Degrad|Hedge|DeadShard|Unavailable' ./internal/core ./internal/server ./internal/shard
 	$(GO) test -race -run 'Crash|Races|Fallback' ./internal/store
+
+# Network-chaos gate: the remote shard tier under the race detector —
+# the simulated-fault transport suites (crashes, one-way partitions,
+# stragglers, breaker trips) plus the 520-case differential corpus
+# replayed through the router under a rotating kill/slow/partition
+# schedule, and the cluster-routed HTTP paths. Part of `check`: a
+# router that loses exactness under faults must not ship.
+chaos-net:
+	$(GO) test -race ./internal/cluster
+	$(GO) test -race -run 'Cluster|ShardEval' ./internal/server
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -78,12 +88,14 @@ vet:
 # corrupts answers, so its tests must not erode), the interned
 # columnar storage layers (sym, colstore) the zero-alloc hot path sits
 # on, and the mutation path (db structural sharing, store group
-# commit + WAL) where an aliasing bug corrupts every derived version.
+# commit + WAL) where an aliasing bug corrupts every derived version,
+# and the cluster router (retry/hedge/breaker/partial-failure logic is
+# exactly the code that only runs when something is already wrong).
 # Floors are a few points under current coverage so they catch
 # deleted tests, not noise.
 cover:
 	$(GO) test -cover ./internal/... | tee cover.out
-	@status=0; for spec in trace:90 rewrite:70 conp:75 shard:80 sym:90 colstore:90 db:80 store:80; do \
+	@status=0; for spec in trace:90 rewrite:70 conp:75 shard:80 sym:90 colstore:90 db:80 store:80 cluster:80; do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		pct=$$(awk -v p="cqa/internal/$$pkg" '$$2 == p { for (i=1;i<=NF;i++) if ($$i ~ /%$$/) { sub(/%/,"",$$i); print $$i; exit } }' cover.out); \
 		if [ -z "$$pct" ]; then echo "cover: no coverage reported for internal/$$pkg"; status=1; \

@@ -45,6 +45,11 @@ func RunServe(args []string, stdout, stderr io.Writer) int {
 	shards := fs.Int("shards", 0, "key-partitioned shards per database snapshot (0 or 1 = monolithic evaluation)")
 	hedge := fs.Duration("hedge", 0, "duplicate a shard task not done within this delay onto a fresh goroutine (0 = no hedging)")
 	walDir := fs.String("wal", "", "append-only journal directory: replayed on boot, then every mutation is journaled before it publishes (empty = no durability)")
+	walWarnBytes := fs.Int64("wal-warn-bytes", 0, "warn once when the journal grows past this many bytes (0 = no warning)")
+	shardNode := fs.Bool("shard-node", false, "serve POST /v1/shard/eval: answer per-shard evaluation requests from a cluster router")
+	clusterNodes := fs.String("cluster", "", "comma-separated shard-node base URLs: route stored-database evaluations through the fault-tolerant cluster router")
+	clusterShards := fs.Int("cluster-shards", 0, "logical partition width of routed cluster work (0 = 2x the node count)")
+	clusterHedge := fs.Duration("cluster-hedge", 0, "hedge a routed shard request not answered within this delay (p99-adaptive floor; 0 = no hedging)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -55,18 +60,28 @@ func RunServe(args []string, stdout, stderr io.Writer) int {
 	if *workers <= 0 {
 		*workers = 2 * runtime.GOMAXPROCS(0)
 	}
+	var nodeURLs []string
+	for _, n := range strings.Split(*clusterNodes, ",") {
+		if n = strings.TrimRight(strings.TrimSpace(n), "/"); n != "" {
+			nodeURLs = append(nodeURLs, n)
+		}
+	}
 	srv := server.New(server.Config{
-		CacheSize:        *cacheSize,
-		MaxWorkers:       *workers,
-		Logger:           logger,
-		EvalTimeout:      *timeout,
-		MaxTimeout:       *maxTimeout,
-		MaxSteps:         *maxSteps,
-		MemoCap:          *memoCap,
-		SlowLogSize:      *slowLogSize,
-		SlowLogThreshold: *slowThreshold,
-		Shards:           *shards,
-		HedgeDelay:       *hedge,
+		CacheSize:         *cacheSize,
+		MaxWorkers:        *workers,
+		Logger:            logger,
+		EvalTimeout:       *timeout,
+		MaxTimeout:        *maxTimeout,
+		MaxSteps:          *maxSteps,
+		MemoCap:           *memoCap,
+		SlowLogSize:       *slowLogSize,
+		SlowLogThreshold:  *slowThreshold,
+		Shards:            *shards,
+		HedgeDelay:        *hedge,
+		ShardNode:         *shardNode,
+		ClusterNodes:      nodeURLs,
+		ClusterShards:     *clusterShards,
+		ClusterHedgeDelay: *clusterHedge,
 	})
 	if *walDir != "" {
 		// Recovery first, journaling second: replay drives the ordinary
@@ -83,6 +98,13 @@ func RunServe(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		defer l.Close()
+		if *walWarnBytes > 0 {
+			warnTo := stderr
+			l.SetWarn(*walWarnBytes, func(bytes int64) {
+				fmt.Fprintf(warnTo, "cqa-serve wal: journal reached %d bytes (warn threshold %d); consider rotating or compacting\n",
+					bytes, *walWarnBytes)
+			})
+		}
 		srv.Store().SetWAL(l)
 		fmt.Fprintf(stdout, "cqa-serve wal: replayed %d records from %s (%d databases restored)\n",
 			n, *walDir, srv.Store().Len())
@@ -97,6 +119,17 @@ func RunServe(args []string, stdout, stderr io.Writer) int {
 		*addr, *cacheSize, *workers)
 	if *shards > 1 {
 		fmt.Fprintf(stdout, "cqa-serve sharded evaluation: %d shards per snapshot, hedge %s\n", *shards, *hedge)
+	}
+	if *shardNode {
+		fmt.Fprintln(stdout, "cqa-serve shard node: serving POST /v1/shard/eval")
+	}
+	if len(nodeURLs) > 0 {
+		width := *clusterShards
+		if r := srv.Router(); r != nil {
+			width = r.Shards()
+		}
+		fmt.Fprintf(stdout, "cqa-serve cluster router: %d nodes, %d logical shards, hedge %s\n",
+			len(nodeURLs), width, *clusterHedge)
 	}
 	// The debug surface (pprof, slowlog) binds its own listener so the
 	// profiling endpoints never ride the public address. It serves until
@@ -166,6 +199,11 @@ type loadResult struct {
 	err      bool
 	retries  int  // attempts beyond the first
 	shed     bool // at least one attempt was refused with 429
+	// unavail marks at least one 503 attempt — the shard_unavailable
+	// taxonomy (a shard or cluster node down), distinct from 429
+	// admission shedding: shedding means this instance is saturated,
+	// unavailability means the evaluation tier lost capacity.
+	unavail bool
 	// stages holds the server-side stage breakdown for traced requests.
 	stages []stageMicros
 }
@@ -186,22 +224,39 @@ func RunLoad(args []string, stdout, stderr io.Writer) int {
 	classifyFrac := fs.Float64("classify", 0.25, "fraction of requests that hit /v1/classify")
 	traceFrac := fs.Float64("trace", 0, "fraction of certain requests that opt into X-CQA-Trace stage tracing (0 = off)")
 	writeMix := fs.Float64("write-mix", 0, "fraction of certain requests replaced by POST /v1/db/{name}/facts delta writes (0 = read-only)")
+	clusterList := fs.String("cluster", "", "comma-separated shard-node base URLs: replicate every uploaded database to each (a routed deployment needs the data on every node)")
 	probe := fs.Bool("probe", false, "measure cold vs warm plan-cache latency per query and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	client := &http.Client{Timeout: 30 * time.Second}
 	base := strings.TrimRight(*url, "/")
+	var replicas []string
+	for _, n := range strings.Split(*clusterList, ",") {
+		if n = strings.TrimRight(strings.TrimSpace(n), "/"); n != "" && n != base {
+			replicas = append(replicas, n)
+		}
+	}
 
 	if ok := pingServer(client, base, stderr); !ok {
 		return 1
 	}
-	jobs, err := prepareLoad(client, base, *seed, *classifyFrac)
+	for _, node := range replicas {
+		if ok := pingServer(client, node, stderr); !ok {
+			return 1
+		}
+	}
+	jobs, err := prepareLoad(client, base, replicas, *seed, *classifyFrac)
 	if err != nil {
 		fmt.Fprintln(stderr, "cqa-load:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "prepared %d request shapes against %s\n", len(jobs), base)
+	if len(replicas) > 0 {
+		fmt.Fprintf(stdout, "prepared %d request shapes against %s (databases replicated to %d more nodes)\n",
+			len(jobs), base, len(replicas))
+	} else {
+		fmt.Fprintf(stdout, "prepared %d request shapes against %s\n", len(jobs), base)
+	}
 
 	if *probe {
 		return runProbe(client, base, jobs, stdout, stderr)
@@ -223,11 +278,13 @@ func pingServer(client *http.Client, base string, stderr io.Writer) bool {
 	return true
 }
 
-// prepareLoad uploads one generated database per query of the mix and
-// returns the request shapes the replay loop cycles through. The mix is
-// every catalog entry plus workload-generated family queries, so all
-// three engines (fo, ptime, conp) see traffic.
-func prepareLoad(client *http.Client, base string, seed int64, classifyFrac float64) ([]loadJob, error) {
+// prepareLoad uploads one generated database per query of the mix —
+// to the primary and to every replica node, since a routed cluster
+// deployment requires the data on every node — and returns the request
+// shapes the replay loop cycles through. The mix is every catalog
+// entry plus workload-generated family queries, so all three engines
+// (fo, ptime, conp) see traffic.
+func prepareLoad(client *http.Client, base string, replicas []string, seed int64, classifyFrac float64) ([]loadJob, error) {
 	rng := rand.New(rand.NewSource(seed))
 	p := workload.DefaultDBParams()
 	p.SeedMatches = 2
@@ -253,18 +310,21 @@ func prepareLoad(client *http.Client, base string, seed int64, classifyFrac floa
 		}
 		d := workload.RandomDB(rng, q, p)
 		dbName := fmt.Sprintf("load-%03d", i)
-		req, err := http.NewRequest("PUT", base+"/v1/db/"+dbName, strings.NewReader(d.String()+"\n"))
-		if err != nil {
-			return nil, err
-		}
-		resp, err := client.Do(req)
-		if err != nil {
-			return nil, fmt.Errorf("uploading %s: %w", dbName, err)
-		}
-		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("uploading %s: %s: %s", dbName, resp.Status, bytes.TrimSpace(body))
+		facts := d.String() + "\n"
+		for _, target := range append([]string{base}, replicas...) {
+			req, err := http.NewRequest("PUT", target+"/v1/db/"+dbName, strings.NewReader(facts))
+			if err != nil {
+				return nil, err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return nil, fmt.Errorf("uploading %s to %s: %w", dbName, target, err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("uploading %s to %s: %s: %s", dbName, target, resp.Status, bytes.TrimSpace(body))
+			}
 		}
 		certainBody, err := json.Marshal(map[string]string{"query": nq.text, "db": dbName})
 		if err != nil {
@@ -327,6 +387,15 @@ func fire(client *http.Client, base string, job loadJob) loadResult {
 				}
 			} else if resp.StatusCode >= 500 {
 				retryable = true
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					// 503 shard_unavailable carries the same Retry-After
+					// hint as shedding: the shard tier heals on retry, so
+					// honor the server's pacing instead of hammering it.
+					res.unavail = true
+					if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+						retryAfter = time.Duration(secs) * time.Second
+					}
+				}
 			}
 		}
 		if !retryable {
@@ -462,7 +531,7 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 
 func summarize(stdout io.Writer, results []loadResult, elapsed time.Duration) {
 	byEndpoint := map[string][]time.Duration{}
-	errs, retried, retries, shed := 0, 0, 0, 0
+	errs, retried, retries, shed, unavail := 0, 0, 0, 0, 0
 	for _, r := range results {
 		if r.retries > 0 {
 			retried++
@@ -470,6 +539,9 @@ func summarize(stdout io.Writer, results []loadResult, elapsed time.Duration) {
 		}
 		if r.shed {
 			shed++
+		}
+		if r.unavail {
+			unavail++
 		}
 		if r.err {
 			errs++
@@ -479,8 +551,8 @@ func summarize(stdout io.Writer, results []loadResult, elapsed time.Duration) {
 	}
 	fmt.Fprintf(stdout, "\n%d requests in %s (%.1f req/s achieved), %d errors\n",
 		len(results), elapsed, float64(len(results))/elapsed.Seconds(), errs)
-	fmt.Fprintf(stdout, "%d requests retried (%d retries total), %d saw 429 shedding\n",
-		retried, retries, shed)
+	fmt.Fprintf(stdout, "%d requests retried (%d retries total), %d saw 429 shedding, %d saw 503 shard-unavailable\n",
+		retried, retries, shed, unavail)
 	endpoints := make([]string, 0, len(byEndpoint))
 	for ep := range byEndpoint {
 		endpoints = append(endpoints, ep)

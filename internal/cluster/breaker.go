@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker position of one node.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown elapsed; one probed trial request
+	// is allowed through to test the node.
+	BreakerHalfOpen
+	// BreakerOpen: consecutive failures crossed the threshold; requests
+	// skip this node until the cooldown elapses.
+	BreakerOpen
+)
+
+// String names the state for metrics and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-node closed/open/half-open circuit breaker.
+// Transitions: threshold consecutive failures open it; after cooldown
+// the next acquire moves it half-open and admits exactly one trial
+// (the caller must /readyz-probe first); the trial's success closes it,
+// its failure — or a failed probe — re-opens it for another cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	trial    bool // a half-open trial is in flight
+}
+
+// acquire reports whether a request may target this node now. probe is
+// true when the admission is a half-open trial: the caller must probe
+// readiness first and report probeFailed on a bad probe.
+func (b *breaker) acquire(now time.Time) (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false, false
+		}
+		b.state = BreakerHalfOpen
+		b.trial = true
+		return true, true
+	default: // BreakerHalfOpen
+		if b.trial {
+			return false, false
+		}
+		b.trial = true
+		return true, true
+	}
+}
+
+// success closes the breaker (any state) and resets the failure run.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.trial = false
+}
+
+// failure records one node fault: a failed half-open trial re-opens
+// immediately; in closed state the consecutive-failure run opens the
+// breaker at the threshold.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.trial = false
+		return
+	}
+	b.fails++
+	if b.state == BreakerClosed && b.fails >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = now
+	}
+}
+
+// probeFailed re-opens a half-open breaker whose readiness probe failed
+// (the trial never launched).
+func (b *breaker) probeFailed(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.trial = false
+	}
+}
+
+// abandon releases a half-open trial slot whose outcome was not
+// attributable to the node (the race was decided elsewhere, or the
+// request context died): the breaker stays half-open and the next
+// acquire may try again.
+func (b *breaker) abandon() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.trial = false
+	}
+}
+
+// current returns the state for metrics.
+func (b *breaker) current() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBreakerTransitions walks the full state machine white-box:
+// threshold opens, cooldown admits a probed half-open trial, a failed
+// trial re-opens, a successful one closes, and probeFailed/abandon
+// resolve a trial slot that never launched.
+func TestBreakerTransitions(t *testing.T) {
+	b := &breaker{threshold: 3, cooldown: time.Minute}
+	now := time.Unix(0, 0)
+
+	if ok, probe := b.acquire(now); !ok || probe {
+		t.Fatalf("closed acquire = %v, %v", ok, probe)
+	}
+	b.failure(now)
+	b.failure(now)
+	if b.current() != BreakerClosed {
+		t.Fatalf("below threshold: %v", b.current())
+	}
+	b.failure(now)
+	if b.current() != BreakerOpen {
+		t.Fatalf("at threshold: %v", b.current())
+	}
+	if ok, _ := b.acquire(now.Add(time.Second)); ok {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+
+	// Cooldown elapses: exactly one probed trial is admitted.
+	later := now.Add(2 * time.Minute)
+	ok, probe := b.acquire(later)
+	if !ok || !probe {
+		t.Fatalf("post-cooldown acquire = %v, %v, want trial", ok, probe)
+	}
+	if ok, _ := b.acquire(later); ok {
+		t.Fatal("second trial admitted while one is in flight")
+	}
+
+	// The trial fails: straight back to open for another cooldown.
+	b.failure(later)
+	if b.current() != BreakerOpen {
+		t.Fatalf("failed trial: %v", b.current())
+	}
+
+	// Next cycle: an abandoned trial frees the slot without closing.
+	later = later.Add(2 * time.Minute)
+	if ok, probe := b.acquire(later); !ok || !probe {
+		t.Fatal("post-cooldown trial not admitted")
+	}
+	b.abandon()
+	if b.current() != BreakerHalfOpen {
+		t.Fatalf("abandoned trial: %v", b.current())
+	}
+	if ok, probe := b.acquire(later); !ok || !probe {
+		t.Fatal("freed trial slot not re-admitted")
+	}
+
+	// A failed readiness probe re-opens without a trial launch.
+	b.probeFailed(later)
+	if b.current() != BreakerOpen {
+		t.Fatalf("failed probe: %v", b.current())
+	}
+
+	// And a successful trial closes from any state.
+	later = later.Add(2 * time.Minute)
+	if ok, _ := b.acquire(later); !ok {
+		t.Fatal("trial not admitted")
+	}
+	b.success()
+	if b.current() != BreakerClosed {
+		t.Fatalf("successful trial: %v", b.current())
+	}
+	if ok, probe := b.acquire(later); !ok || probe {
+		t.Fatal("closed breaker should admit without a probe")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerHalfOpen: "half-open",
+		BreakerOpen:     "open",
+		BreakerState(9): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("BreakerState(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+// TestHTTPTransportStatusMapping checks the wire-level error taxonomy:
+// 200 decodes, 4xx is a permanent RequestError, 5xx/429 and dead
+// sockets are retryable Unavailable, and Ready maps /readyz.
+func TestHTTPTransportStatusMapping(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/shard/eval", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Header.Get("X-Test-Status") {
+		case "400":
+			http.Error(w, `{"error": "bad_query"}`, http.StatusBadRequest)
+		case "429":
+			http.Error(w, "shed", http.StatusTooManyRequests)
+		case "500":
+			http.Error(w, strings.Repeat("x", 2048), http.StatusInternalServerError)
+		default:
+			w.Write([]byte(`{"certain": true, "steps": 7}`)) //nolint:errcheck
+		}
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	tr := &HTTPTransport{Client: ts.Client()}
+	withStatus := func(status string) *http.Client {
+		c := *ts.Client()
+		c.Transport = roundTripFunc(func(r *http.Request) (*http.Response, error) {
+			r.Header.Set("X-Test-Status", status)
+			return ts.Client().Transport.RoundTrip(r)
+		})
+		return &c
+	}
+
+	resp, err := tr.Eval(context.Background(), ts.URL, &EvalRequest{})
+	if err != nil || !resp.Certain || resp.Steps != 7 {
+		t.Fatalf("200 eval: %+v, %v", resp, err)
+	}
+
+	var re *RequestError
+	_, err = (&HTTPTransport{Client: withStatus("400")}).Eval(context.Background(), ts.URL, &EvalRequest{})
+	if !errors.As(err, &re) || re.Code != "node_status_400" {
+		t.Fatalf("400 eval: %v, want node_status_400 RequestError", err)
+	}
+	if re.Error() == "" {
+		t.Error("RequestError.Error() empty")
+	}
+
+	for _, status := range []string{"429", "500"} {
+		_, err = (&HTTPTransport{Client: withStatus(status)}).Eval(context.Background(), ts.URL, &EvalRequest{})
+		if !Unavailable(err) {
+			t.Fatalf("%s eval: %v, want Unavailable", status, err)
+		}
+	}
+
+	if err := tr.Ready(context.Background(), ts.URL); !Unavailable(err) {
+		t.Fatalf("readyz 503: %v, want Unavailable", err)
+	}
+
+	// A dead socket is Unavailable on both paths.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	deadTr := &HTTPTransport{}
+	if _, err := deadTr.Eval(context.Background(), dead.URL, &EvalRequest{}); !Unavailable(err) {
+		t.Fatalf("dead node eval: %v, want Unavailable", err)
+	}
+	if err := deadTr.Ready(context.Background(), dead.URL); !Unavailable(err) {
+		t.Fatalf("dead node ready: %v, want Unavailable", err)
+	}
+
+	// A cancelled context surfaces as the context error, not Unavailable,
+	// so the router can tell its own deadline from a dead node.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.Eval(ctx, ts.URL, &EvalRequest{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled eval: %v, want context.Canceled", err)
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func TestTruncate(t *testing.T) {
+	if got := truncate("abc", 10); got != "abc" {
+		t.Errorf("truncate short = %q", got)
+	}
+	if got := truncate("abcdefgh", 4); got != "abcd..." {
+		t.Errorf("truncate long = %q", got)
+	}
+}

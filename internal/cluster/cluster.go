@@ -1,0 +1,131 @@
+// Package cluster is the over-the-wire shard tier: the network
+// counterpart of the in-process shard.Pool. Data is replicated — every
+// node holds the full snapshot of each named database — and *work* is
+// partitioned: a request names a logical shard (a key-hash partition of
+// the top-level work, the same Of-hash the in-process tier uses) and
+// the node evaluates exactly that partition against its full local
+// snapshot. Replication is what makes retries, failover, and hedging
+// sound: any node can serve any shard, so a lost node costs latency,
+// never answers.
+//
+// The package splits into three layers:
+//
+//   - Exec (node.go) is the server side: one shard-evaluation request
+//     against a local store, reusing the shard.View/span machinery and
+//     the exported core task constructors, so the remote tier evaluates
+//     byte-identical work to the in-process tier.
+//   - Transport (transport.go) moves one request to one node: a real
+//     HTTP/JSON implementation, an in-process Loopback for tests and
+//     benchmarks, and SimNet (sim.go), a deterministic seedable fault
+//     model wrapping any transport with per-link latency, drops,
+//     one-way partitions, and node crash/restart.
+//   - Router (router.go) owns client-side fault tolerance: consistent-
+//     hash shard→node assignment, per-attempt timeouts with exponential
+//     backoff and full jitter under the shared evalctx budget, hedged
+//     second attempts after a p99-derived delay, a per-node circuit
+//     breaker probed via /readyz, and explicit partial-failure merge
+//     semantics — early-exit merges may conclude from surviving shards,
+//     everything else fails closed or degrades explicitly, never a
+//     silently wrong boolean.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"cqa/internal/shard"
+)
+
+// ErrUnavailable marks a retryable infrastructure failure: the node is
+// down, unreachable, overloaded, or lost the response. It wraps
+// shard.ErrFailed so the serving layer's existing 503 shard_unavailable
+// taxonomy applies to the remote tier unchanged.
+var ErrUnavailable = fmt.Errorf("cluster: node unavailable: %w", shard.ErrFailed)
+
+// RequestError is a permanent, request-shaped failure reported by a
+// node: a malformed query, an invalid shard index, an engine the plan
+// cannot run. Retrying it on another replica cannot help, so the router
+// returns it immediately.
+type RequestError struct {
+	// Code is a short taxonomy tag ("bad_request", "bad_query", ...).
+	Code string
+	// Msg is the human-readable detail.
+	Msg string
+}
+
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("cluster: %s: %s", e.Code, e.Msg)
+}
+
+// Unavailable reports whether err is a retryable infrastructure
+// failure (as opposed to an error of the request itself).
+func Unavailable(err error) bool {
+	return errors.Is(err, ErrUnavailable) || errors.Is(err, shard.ErrFailed)
+}
+
+// Kind selects the unit of work a shard-evaluation request carries.
+type Kind string
+
+const (
+	// KindBool decides the Boolean FO certainty of the shard's
+	// partition of the top relation's blocks; the router merges with
+	// early-exit OR semantics (any true is definitive, false needs all
+	// shards).
+	KindBool Kind = "bool"
+	// KindSingle runs the entire certainty decision (ptime / conp /
+	// naive / cyclic plans) on the one shard owning the plan key.
+	KindSingle Kind = "single"
+	// KindSweep derives and decides the shard's certain answers in one
+	// batched columnar pass (sweepable FO plans); the router unions.
+	KindSweep Kind = "sweep"
+	// KindCheck enumerates the candidate answers locally (the order is
+	// deterministic, so every node agrees) and checks only the
+	// candidates whose binding key hashes to the request's shard; the
+	// router unions the disjoint per-shard answer sets.
+	KindCheck Kind = "check"
+)
+
+// EvalRequest is one shard-evaluation request. Queries travel as their
+// canonical text (Plan.Key), so the node's plan-cache compilation is
+// guaranteed to reproduce the coordinator's plan.
+type EvalRequest struct {
+	Query string `json:"query"`
+	DB    string `json:"db"`
+	Kind  Kind   `json:"kind"`
+	// Shard / Shards name the logical partition: this request covers
+	// partition Shard of a Shards-way split. The width is the router's,
+	// not the node's — a node whose local pool is configured differently
+	// still evaluates the requested partition correctly.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Free are the free variables of an answers request (KindSweep /
+	// KindCheck), in the caller's order.
+	Free []string `json:"free,omitempty"`
+	// Engine is the resolved engine name ("fo", "ptime", "conp",
+	// "naive"); empty selects auto.
+	Engine string `json:"engine,omitempty"`
+	// MaxSteps is the step budget granted to this attempt — the
+	// *remaining* request budget at dispatch time, so retries and
+	// hedges cannot multiply what one request may spend. <= 0 is
+	// unlimited.
+	MaxSteps int64 `json:"maxSteps,omitempty"`
+	// Approximate permits the coNP engine's sampling degradation.
+	Approximate bool `json:"approximate,omitempty"`
+	Samples     int  `json:"samples,omitempty"`
+}
+
+// EvalResponse is the verdict of one shard evaluation.
+type EvalResponse struct {
+	// Certain is the Boolean verdict (KindBool / KindSingle).
+	Certain bool `json:"certain"`
+	// Answers are the shard's certain answers (KindSweep / KindCheck),
+	// each a free-variable binding.
+	Answers []map[string]string `json:"answers,omitempty"`
+	// Approximate / Fraction report a KindSingle coNP evaluation that
+	// degraded to repair sampling on the node.
+	Approximate bool    `json:"approximate,omitempty"`
+	Fraction    float64 `json:"fraction,omitempty"`
+	// Steps is the engine work the node spent on this request; the
+	// router charges it against the shared request budget.
+	Steps int64 `json:"steps"`
+}

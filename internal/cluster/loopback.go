@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"cqa/internal/plancache"
+	"cqa/internal/store"
+)
+
+// LocalNode is an in-process cluster node: its own store and plan
+// cache, no sockets. Tests and benchmarks replicate data by uploading
+// to every node's Store, exactly as a deployment replicates uploads
+// across real nodes.
+type LocalNode struct {
+	name  string
+	Store *store.Store
+	cache *plancache.Cache
+}
+
+// NewLocalNode returns a named node with an empty store.
+func NewLocalNode(name string) *LocalNode {
+	return &LocalNode{name: name, Store: store.New(), cache: plancache.New(256)}
+}
+
+// Name returns the node's transport address.
+func (n *LocalNode) Name() string { return n.name }
+
+// Exec evaluates one shard request against this node's local state.
+func (n *LocalNode) Exec(ctx context.Context, req *EvalRequest) (*EvalResponse, error) {
+	return Exec(ctx, n.cache, n.Store, req)
+}
+
+// Loopback is the in-process Transport over a fixed set of LocalNodes.
+// It is the deterministic substrate under SimNet: with no fault model
+// on top it is a perfect network.
+type Loopback struct {
+	nodes map[string]*LocalNode
+}
+
+// NewLoopback indexes the nodes by name.
+func NewLoopback(nodes ...*LocalNode) *Loopback {
+	m := make(map[string]*LocalNode, len(nodes))
+	for _, n := range nodes {
+		m[n.Name()] = n
+	}
+	return &Loopback{nodes: m}
+}
+
+// Eval implements Transport.
+func (l *Loopback) Eval(ctx context.Context, node string, req *EvalRequest) (*EvalResponse, error) {
+	n, ok := l.nodes[node]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown node %q", ErrUnavailable, node)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return n.Exec(ctx, req)
+}
+
+// Ready implements Transport: a registered loopback node is always
+// ready (SimNet supplies the failure modes).
+func (l *Loopback) Ready(ctx context.Context, node string) error {
+	if _, ok := l.nodes[node]; !ok {
+		return fmt.Errorf("%w: unknown node %q", ErrUnavailable, node)
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"cqa/internal/core"
+	"cqa/internal/evalctx"
+	"cqa/internal/faultinject"
+	"cqa/internal/match"
+	"cqa/internal/plancache"
+	"cqa/internal/query"
+	"cqa/internal/shard"
+	"cqa/internal/store"
+)
+
+// Exec evaluates one shard request against a local store: the server
+// side of the cluster tier, shared by the HTTP endpoint and the
+// in-process loopback transport. The plan is compiled (or fetched) from
+// the node's plan cache, the snapshot resolved from the node's store,
+// and the work dispatched by Kind through the same exported core task
+// constructors the in-process scatter uses — so a remote shard and a
+// local shard evaluate byte-identical work.
+//
+// Error contract: infrastructure failures (unknown database — a
+// replication race, not a request defect — injected node faults, shard
+// build failures) satisfy Unavailable and are retryable on another
+// replica; request defects come back as *RequestError and are
+// permanent; context and budget errors pass through unchanged.
+//
+// The "cluster.node.exec" fault hook fires on entry (before any work),
+// so chaos tests can take a node down at the request boundary.
+func Exec(ctx context.Context, cache *plancache.Cache, st *store.Store, req *EvalRequest) (*EvalResponse, error) {
+	if req.Shards < 1 || req.Shard < 0 || req.Shard >= req.Shards {
+		return nil, &RequestError{Code: "bad_request",
+			Msg: fmt.Sprintf("shard %d out of range for width %d", req.Shard, req.Shards)}
+	}
+	if err := faultinject.Fire("cluster.node.exec"); err != nil {
+		return nil, fmt.Errorf("%w: injected node fault: %w", ErrUnavailable, err)
+	}
+	plan, _, err := cache.GetOrCompile(req.Query)
+	if err != nil {
+		return nil, &RequestError{Code: "bad_query", Msg: err.Error()}
+	}
+	engine, err := core.ParseEngine(req.Engine)
+	if err != nil {
+		return nil, &RequestError{Code: "bad_engine", Msg: err.Error()}
+	}
+	snap, ok := st.Get(req.DB)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown database %q", ErrUnavailable, req.DB)
+	}
+	opts := core.Options{
+		Engine:      engine,
+		MaxSteps:    req.MaxSteps,
+		Approximate: req.Approximate,
+		Samples:     req.Samples,
+	}
+	ix := snap.Index()
+	chk := evalctx.New(ctx, evalctx.Limits{MaxSteps: req.MaxSteps})
+	resp := &EvalResponse{}
+	switch req.Kind {
+	case KindBool:
+		if !plan.ScatterableFO(opts) {
+			return nil, &RequestError{Code: "bad_request",
+				Msg: fmt.Sprintf("plan for %q is not FO-scatterable", req.Query)}
+		}
+		resp.Certain, err = runShardTask(ctx, snap, req, chk, plan.BoolShardTask(ix))
+	case KindSingle:
+		var res core.Result
+		res, err = runShardTask(ctx, snap, req, chk, plan.CertainSingleTask(ctx, ix, opts))
+		resp.Certain = res.Certain
+		resp.Approximate = res.Approximate
+		resp.Fraction = res.Fraction
+	case KindSweep:
+		free, ferr := freeVars(plan, req.Free)
+		if ferr != nil {
+			return nil, ferr
+		}
+		if !plan.ScatterableFO(opts) || !plan.Elim.SweepableFree(free) {
+			return nil, &RequestError{Code: "bad_request",
+				Msg: fmt.Sprintf("plan for %q is not sweepable over %v", req.Query, req.Free)}
+		}
+		var out []query.Valuation
+		out, err = runShardTask(ctx, snap, req, chk, plan.SweepShardTask(ix, free))
+		resp.Answers = encodeValuations(out)
+	case KindCheck:
+		free, ferr := freeVars(plan, req.Free)
+		if ferr != nil {
+			return nil, ferr
+		}
+		var out []query.Valuation
+		out, err = checkOwned(ctx, plan, ix, free, req, opts, chk)
+		resp.Answers = encodeValuations(out)
+	default:
+		return nil, &RequestError{Code: "bad_request", Msg: fmt.Sprintf("unknown kind %q", req.Kind)}
+	}
+	resp.Steps = chk.Steps()
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// runShardTask executes a shard task against the request's partition.
+// The snapshot's cached pool is reused when its width matches the
+// request (the hot path: span partitions, worker queues, health and
+// fault hooks); a width mismatch — the node is locally configured for a
+// different fan-out — falls back to a standalone synchronous view of
+// exactly the requested partition.
+func runShardTask[T any](ctx context.Context, snap *store.Snapshot, req *EvalRequest, chk *evalctx.Checker, task shard.Task[T]) (T, error) {
+	if pool := snap.ShardPool(req.Shards, 0); pool != nil && pool.N() == req.Shards {
+		return shard.Do(ctx, pool, req.Shard, chk, task)
+	}
+	v, err := shard.NewView(snap.DB, req.Shard, req.Shards)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return task(v, chk.ForkWith(ctx))
+}
+
+// checkOwned is the KindCheck body: enumerate every candidate answer
+// (the deterministic first-seen order makes ownership agreement free),
+// check the ones whose binding key hashes to this shard, and return the
+// certain ones. Candidates run inline on the request goroutine — the
+// request is already one shard's worth of work.
+func checkOwned(ctx context.Context, plan *core.Plan, ix *match.Index, free []query.Var, req *EvalRequest, opts core.Options, chk *evalctx.Checker) ([]query.Valuation, error) {
+	candidates, err := plan.EnumerateCandidates(ix, free, opts, chk)
+	if err != nil {
+		return nil, err
+	}
+	var out []query.Valuation
+	for _, proj := range candidates {
+		if shard.Of(proj.Key(), req.Shards) != req.Shard {
+			continue
+		}
+		if err := chk.Err(); err != nil {
+			return nil, err
+		}
+		ok, err := plan.CheckCandidate(ctx, ix, opts, proj, chk)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, proj)
+		}
+	}
+	return out, nil
+}
+
+// freeVars parses and validates the wire form of the free variables
+// against the plan's query, mirroring the coordinator-side validation
+// so a node never silently accepts a binding the local path would 422.
+func freeVars(plan *core.Plan, names []string) ([]query.Var, error) {
+	vars := plan.Query.Vars()
+	free := make([]query.Var, len(names))
+	for i, s := range names {
+		v := query.Var(s)
+		if !vars.Has(v) {
+			return nil, &RequestError{Code: "bad_request",
+				Msg: fmt.Sprintf("free variable %s does not occur in %s", v, plan.Query)}
+		}
+		free[i] = v
+	}
+	return free, nil
+}
+
+func encodeValuations(vs []query.Valuation) []map[string]string {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]map[string]string, len(vs))
+	for i, v := range vs {
+		m := make(map[string]string, len(v))
+		for x, c := range v {
+			m[string(x)] = string(c)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func decodeValuations(ms []map[string]string) []query.Valuation {
+	if len(ms) == 0 {
+		return nil
+	}
+	out := make([]query.Valuation, len(ms))
+	for i, m := range ms {
+		v := make(query.Valuation, len(m))
+		for x, c := range m {
+			v[query.Var(x)] = query.Const(c)
+		}
+		out[i] = v
+	}
+	return out
+}

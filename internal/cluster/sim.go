@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// LinkFaults is the fault model of one client→node link. The zero
+// value is a perfect link.
+type LinkFaults struct {
+	// Latency is added to every delivery; Jitter adds a further uniform
+	// [0, Jitter) draw from the seeded RNG.
+	Latency time.Duration
+	Jitter  time.Duration
+	// DropRequest is the probability the request is lost before the
+	// node sees it (the node does no work).
+	DropRequest float64
+	// DropResponse is the probability the *response* is lost after the
+	// node fully executed the request — a one-way partition. The
+	// distinction matters: the work happened, budget was spent
+	// remotely, and a naive client that conflates the two double-counts
+	// side effects. Evaluations are read-only, so here the only
+	// observable is latency and the retry.
+	DropResponse float64
+	// StallEvery, when > 0, stalls every StallEvery-th delivery on this
+	// link for Stall — a deterministic straggler schedule (no RNG), the
+	// reproducible "10% of requests hit a slow node" of the hedging
+	// benchmark.
+	StallEvery int
+	Stall      time.Duration
+}
+
+// SimNet wraps a Transport in a deterministic, seedable fault model:
+// per-link latency/jitter/drops, one-way partitions, and whole-node
+// crash/restart. All randomness flows from the one seeded RNG under a
+// mutex, so a given seed and request interleaving replays the same
+// fault schedule — the satnet-simulator style of testing a distributed
+// topology without real packet loss.
+type SimNet struct {
+	inner Transport
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	links map[string]*linkState
+	down  map[string]bool
+}
+
+type linkState struct {
+	faults LinkFaults
+	n      int // deliveries so far, drives StallEvery
+}
+
+// NewSimNet wraps inner with a fault model seeded by seed.
+func NewSimNet(inner Transport, seed int64) *SimNet {
+	return &SimNet{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(seed)),
+		links: make(map[string]*linkState),
+		down:  make(map[string]bool),
+	}
+}
+
+// SetLink replaces the fault model of the link to node.
+func (s *SimNet) SetLink(node string, f LinkFaults) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.links[node] = &linkState{faults: f}
+}
+
+// Crash takes the node down: every Eval and Ready fails until Restart.
+func (s *SimNet) Crash(node string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.down[node] = true
+}
+
+// Restart brings a crashed node back.
+func (s *SimNet) Restart(node string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.down, node)
+}
+
+// Eval implements Transport: draw this delivery's fate under the lock,
+// then sleep/execute outside it.
+func (s *SimNet) Eval(ctx context.Context, node string, req *EvalRequest) (*EvalResponse, error) {
+	s.mu.Lock()
+	if s.down[node] {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s: node down", ErrUnavailable, node)
+	}
+	var delay time.Duration
+	dropReq, dropResp := false, false
+	if l := s.links[node]; l != nil {
+		f := l.faults
+		l.n++
+		delay = f.Latency
+		if f.Jitter > 0 {
+			delay += time.Duration(s.rng.Int63n(int64(f.Jitter)))
+		}
+		if f.StallEvery > 0 && l.n%f.StallEvery == 0 {
+			delay += f.Stall
+		}
+		dropReq = f.DropRequest > 0 && s.rng.Float64() < f.DropRequest
+		dropResp = f.DropResponse > 0 && s.rng.Float64() < f.DropResponse
+	}
+	s.mu.Unlock()
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	if dropReq {
+		return nil, fmt.Errorf("%w: %s: request lost", ErrUnavailable, node)
+	}
+	resp, err := s.inner.Eval(ctx, node, req)
+	if err == nil && dropResp {
+		// One-way partition: the node executed the request; only the
+		// answer is lost on the way back.
+		return nil, fmt.Errorf("%w: %s: response lost (one-way partition)", ErrUnavailable, node)
+	}
+	return resp, err
+}
+
+// Ready implements Transport: a down node fails its probe, which is
+// what re-opens a half-open breaker.
+func (s *SimNet) Ready(ctx context.Context, node string) error {
+	s.mu.Lock()
+	down := s.down[node]
+	s.mu.Unlock()
+	if down {
+		return fmt.Errorf("%w: %s: node down", ErrUnavailable, node)
+	}
+	return s.inner.Ready(ctx, node)
+}

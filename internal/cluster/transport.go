@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport moves one shard-evaluation request to one node. node is an
+// opaque address — a base URL for the HTTP transport, a registered name
+// for the loopback. Implementations must be safe for concurrent use;
+// the router races hedged attempts through the same transport.
+type Transport interface {
+	// Eval executes req on the node. Infrastructure failures must
+	// satisfy Unavailable so the router retries them; request defects
+	// must come back as *RequestError so it does not.
+	Eval(ctx context.Context, node string, req *EvalRequest) (*EvalResponse, error)
+	// Ready probes the node's readiness (the half-open breaker gate).
+	Ready(ctx context.Context, node string) error
+}
+
+// maxResponseBytes bounds a shard-eval response body read. Answers of a
+// pathological sweep can be large, but anything past this is a protocol
+// failure, not data.
+const maxResponseBytes = 64 << 20
+
+// HTTPTransport is the real-network transport: POST {node}/v1/shard/eval
+// with the JSON request, readiness via GET {node}/readyz. The zero
+// value is usable and shares a default client with keep-alives.
+type HTTPTransport struct {
+	// Client overrides the HTTP client; nil selects a shared default.
+	Client *http.Client
+}
+
+var defaultClient = &http.Client{
+	Transport: &http.Transport{
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t != nil && t.Client != nil {
+		return t.Client
+	}
+	return defaultClient
+}
+
+// Eval implements Transport. Status mapping: 200 decodes the response;
+// 4xx (a request defect the node diagnosed) becomes a permanent
+// *RequestError; everything else — transport errors, 5xx, 429 — is
+// ErrUnavailable and retryable.
+func (t *HTTPTransport) Eval(ctx context.Context, node string, req *EvalRequest) (*EvalResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, &RequestError{Code: "bad_request", Msg: err.Error()}
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/v1/shard/eval", bytes.NewReader(body))
+	if err != nil {
+		return nil, &RequestError{Code: "bad_request", Msg: err.Error()}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := t.client().Do(hreq)
+	if err != nil {
+		// Let the router distinguish its own cancellation from a dead
+		// node: a context error passes through, a wire error is
+		// unavailable.
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("%w: %s: %w", ErrUnavailable, node, err)
+	}
+	defer hres.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hres.Body, maxResponseBytes))
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("%w: %s: reading response: %w", ErrUnavailable, node, err)
+	}
+	switch {
+	case hres.StatusCode == http.StatusOK:
+		var resp EvalResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			return nil, fmt.Errorf("%w: %s: malformed response: %w", ErrUnavailable, node, err)
+		}
+		return &resp, nil
+	case hres.StatusCode >= 400 && hres.StatusCode < 500 && hres.StatusCode != http.StatusRequestTimeout && hres.StatusCode != http.StatusTooManyRequests:
+		return nil, &RequestError{
+			Code: fmt.Sprintf("node_status_%d", hres.StatusCode),
+			Msg:  truncate(string(data), 512),
+		}
+	default:
+		return nil, fmt.Errorf("%w: %s: status %d: %s", ErrUnavailable, node, hres.StatusCode, truncate(string(data), 512))
+	}
+}
+
+// Ready implements Transport via the node's /readyz.
+func (t *HTTPTransport) Ready(ctx context.Context, node string) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	hres, err := t.client().Do(hreq)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %w", ErrUnavailable, node, err)
+	}
+	defer hres.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(hres.Body, 4096)) //nolint:errcheck // drain for keep-alive
+	if hres.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: %s: readyz status %d", ErrUnavailable, node, hres.StatusCode)
+	}
+	return nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -238,7 +238,7 @@ func (p *Plan) CertainAnswersIndexedCtx(ctx context.Context, free []query.Var, i
 		defer cleanup()
 		return p.certainAnswersSharded(ctx, free, ix, opts, chk, pool)
 	}
-	fastFO := p.Engine(opts) == EngineFO && !p.HasCycle && p.Elim != nil
+	fastFO := p.ScatterableFO(opts)
 
 	// Batched block sweep (fast FO plans whose free variables read off
 	// the top atom's key): all candidates are derived and decided in
@@ -257,13 +257,13 @@ func (p *Plan) CertainAnswersIndexedCtx(ctx context.Context, free []query.Var, i
 		}
 	}
 
-	candidates, err := p.enumerateCandidates(ix, free, opts, chk)
+	candidates, err := p.EnumerateCandidates(ix, free, opts, chk)
 	if err != nil {
 		return nil, err
 	}
 
 	check := func(proj query.Valuation, wchk *evalctx.Checker) (bool, error) {
-		return p.checkCandidate(ctx, ix, opts, fastFO, proj, wchk)
+		return p.CheckCandidate(ctx, ix, opts, proj, wchk)
 	}
 
 	workers := shard.Workers(opts.Workers, len(candidates))
@@ -328,12 +328,15 @@ func (p *Plan) CertainAnswersIndexedCtx(ctx context.Context, free []query.Var, i
 	return out, nil
 }
 
-// enumerateCandidates collects the candidate answers: deduplicated
+// EnumerateCandidates collects the candidate answers: deduplicated
 // projections of the embeddings of the plan's query into the database,
 // in deterministic first-seen order. Any certain answer must be one of
 // these (the instantiated query must hold in the repair d' ⊆ d... every
-// repair embeds it into d).
-func (p *Plan) enumerateCandidates(ix *match.Index, free []query.Var, opts Options, chk *evalctx.Checker) ([]query.Valuation, error) {
+// repair embeds it into d). Exported because a cluster node enumerates
+// the same candidates locally and checks only the ones its shard owns —
+// determinism of this order is what lets nodes agree on ownership
+// without coordination.
+func (p *Plan) EnumerateCandidates(ix *match.Index, free []query.Var, opts Options, chk *evalctx.Checker) ([]query.Valuation, error) {
 	freeSet := query.NewVarSet(free...)
 	var candidates []query.Valuation
 	seen := make(map[string]bool)
@@ -355,12 +358,12 @@ func (p *Plan) enumerateCandidates(ix *match.Index, free []query.Var, opts Optio
 	return candidates, nil
 }
 
-// checkCandidate decides one candidate binding: FO plans seed the
+// CheckCandidate decides one candidate binding: FO plans seed the
 // compiled eliminator with the binding (Lemma 6 — instantiation never
 // adds attacks), every other class substitutes and re-dispatches the
 // instantiated Boolean query.
-func (p *Plan) checkCandidate(ctx context.Context, ix *match.Index, opts Options, fastFO bool, proj query.Valuation, wchk *evalctx.Checker) (bool, error) {
-	if fastFO {
+func (p *Plan) CheckCandidate(ctx context.Context, ix *match.Index, opts Options, proj query.Valuation, wchk *evalctx.Checker) (bool, error) {
+	if p.ScatterableFO(opts) {
 		return p.Elim.CertainChecked(ix, proj, wchk)
 	}
 	qi := p.Query.Substitute(proj)

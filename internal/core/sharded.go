@@ -54,6 +54,60 @@ func unsharded(opts Options) Options {
 	return opts
 }
 
+// ScatterableFO reports whether this plan's Boolean certainty can be
+// scattered as block-local FO checks under the selected engine: the
+// Lemma 10 rewriting's top level is an existential over one relation's
+// blocks, so any key-hash partition of those blocks decides the query
+// as an OR of per-partition verdicts. Every other engine/plan shape
+// evaluates as a single (routable but indivisible) task.
+func (p *Plan) ScatterableFO(opts Options) bool {
+	return p.Engine(opts) == EngineFO && !p.HasCycle && p.Elim != nil
+}
+
+// TopRelation returns the relation whose blocks the FO scatter
+// partitions — the first atom of the compiled elimination order. Only
+// meaningful when ScatterableFO holds.
+func (p *Plan) TopRelation() string {
+	return p.Elim.Order()[0].Rel.Name
+}
+
+// BoolShardTask returns the per-shard Boolean certainty task of an FO
+// scatter: decide the top-level existential over the shard's partition
+// of the top relation, probing residues against the full snapshot
+// index. Both the in-process pool coordinator and the remote cluster
+// node run exactly this task, so the two tiers cannot drift.
+func (p *Plan) BoolShardTask(ix *match.Index) shard.Task[bool] {
+	topRel := p.TopRelation()
+	return func(v *shard.View, schk *evalctx.Checker) (bool, error) {
+		// Span path first: the shard's columnar block indices feed
+		// the interned walk. Irregular data (no spans, or a view
+		// that cannot decide) falls back to the row-oriented walk
+		// over the shard's block partition.
+		if spans, sok := v.SpansOf(topRel); sok {
+			if certain, iok, err := p.Elim.CertainOverSpans(ix, spans, schk); iok {
+				return certain, err
+			}
+		}
+		return p.Elim.CertainOverBlocks(ix, v.BlocksOf(topRel), schk)
+	}
+}
+
+// SweepShardTask returns the per-shard batched answers task of a
+// sweepable FO plan (Eliminator.SweepableFree): derive and decide the
+// candidates of the shard's block partition in one columnar pass.
+// Answers come back unsorted; the merge sorts the union by binding key.
+func (p *Plan) SweepShardTask(ix *match.Index, free []query.Var) shard.Task[[]query.Valuation] {
+	topRel := p.TopRelation()
+	return func(v *shard.View, schk *evalctx.Checker) ([]query.Valuation, error) {
+		if spans, sok := v.SpansOf(topRel); sok {
+			if out, iok, err := p.Elim.SweepSpans(ix, spans, free, schk); iok {
+				return out, err
+			}
+		}
+		return p.Elim.SweepBlocks(ix, v.BlocksOf(topRel), free, schk)
+	}
+}
+
 // certainSharded is the Boolean scatter: FO plans partition the top
 // level across the shards; every other engine dispatches the whole
 // evaluation to the plan key's owner shard (preserving the Approximate
@@ -64,30 +118,26 @@ func (p *Plan) certainSharded(ctx context.Context, ix *match.Index, opts Options
 		return Result{}, err
 	}
 	engine := p.Engine(opts)
-	if engine == EngineFO && !p.HasCycle && p.Elim != nil {
-		topRel := p.Elim.Order()[0].Rel.Name
-		certain, err := p.scatterBool(ctx, pool, chk, func(v *shard.View, schk *evalctx.Checker) (bool, error) {
-			// Span path first: the shard's columnar block indices feed
-			// the interned walk. Irregular data (no spans, or a view
-			// that cannot decide) falls back to the row-oriented walk
-			// over the shard's block partition.
-			if spans, sok := v.SpansOf(topRel); sok {
-				if certain, iok, err := p.Elim.CertainOverSpans(ix, spans, schk); iok {
-					return certain, err
-				}
-			}
-			return p.Elim.CertainOverBlocks(ix, v.BlocksOf(topRel), schk)
-		})
+	if p.ScatterableFO(opts) {
+		certain, err := p.scatterBool(ctx, pool, chk, p.BoolShardTask(ix))
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{Certain: certain, Class: p.Class, Engine: engine}, nil
 	}
+	return shard.Do(ctx, pool, shard.Of(p.key, pool.N()), chk, p.CertainSingleTask(ctx, ix, opts))
+}
+
+// CertainSingleTask returns the whole-evaluation task of a plan that
+// cannot be scattered (ptime / conp / naive / cyclic-FO): the complete
+// certainty decision, including the Approximate degradation of a
+// budget-exhausted coNP search, runs as one unit on whichever shard —
+// local pool worker or remote node — owns the plan key.
+func (p *Plan) CertainSingleTask(ctx context.Context, ix *match.Index, opts Options) shard.Task[Result] {
 	inner := unsharded(opts)
-	return shard.Do(ctx, pool, shard.Of(p.key, pool.N()), chk,
-		func(v *shard.View, schk *evalctx.Checker) (Result, error) {
-			return p.certainChecked(ctx, ix, inner, schk)
-		})
+	return func(v *shard.View, schk *evalctx.Checker) (Result, error) {
+		return p.certainChecked(ctx, ix, inner, schk)
+	}
 }
 
 // scatterBool fans the task across every shard and merges with the
@@ -143,9 +193,9 @@ func (p *Plan) scatterBool(ctx context.Context, pool *shard.Pool, chk *evalctx.C
 //     monolithic enumeration order.
 func (p *Plan) certainAnswersSharded(ctx context.Context, free []query.Var, ix *match.Index, opts Options, chk *evalctx.Checker, pool *shard.Pool) ([]query.Valuation, error) {
 	n := pool.N()
-	fastFO := p.Engine(opts) == EngineFO && !p.HasCycle && p.Elim != nil
+	fastFO := p.ScatterableFO(opts)
 	if fastFO && p.Elim.SweepableFree(free) {
-		topRel := p.Elim.Order()[0].Rel.Name
+		task := p.SweepShardTask(ix, free)
 		parts := make([][]query.Valuation, n)
 		errs := make([]error, n)
 		var wg sync.WaitGroup
@@ -153,15 +203,7 @@ func (p *Plan) certainAnswersSharded(ctx context.Context, free []query.Var, ix *
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()
-				parts[id], errs[id] = shard.Do(ctx, pool, id, chk,
-					func(v *shard.View, schk *evalctx.Checker) ([]query.Valuation, error) {
-						if spans, sok := v.SpansOf(topRel); sok {
-							if out, iok, err := p.Elim.SweepSpans(ix, spans, free, schk); iok {
-								return out, err
-							}
-						}
-						return p.Elim.SweepBlocks(ix, v.BlocksOf(topRel), free, schk)
-					})
+				parts[id], errs[id] = shard.Do(ctx, pool, id, chk, task)
 			}(id)
 		}
 		wg.Wait()
@@ -182,7 +224,7 @@ func (p *Plan) certainAnswersSharded(ctx context.Context, free []query.Var, ix *
 		return out, nil
 	}
 
-	candidates, err := p.enumerateCandidates(ix, free, opts, chk)
+	candidates, err := p.EnumerateCandidates(ix, free, opts, chk)
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +256,7 @@ func (p *Plan) certainAnswersSharded(ctx context.Context, free []query.Var, ix *
 						if err := schk.Err(); err != nil {
 							return nil, err
 						}
-						ok, err := p.checkCandidate(ctx, ix, inner, fastFO, candidates[i], schk)
+						ok, err := p.CheckCandidate(ctx, ix, inner, candidates[i], schk)
 						if err != nil {
 							return nil, err
 						}

@@ -200,6 +200,44 @@ func (c *Checker) Check() error {
 	return c.poll()
 }
 
+// Charge adds n pre-counted steps to the shared budget — the remote
+// analogue of Step for work that was executed elsewhere and reported
+// back in bulk (a cluster node returns the steps it spent; the router
+// charges them here so fan-out and retries cannot multiply a request's
+// budget). Unlike Step there is no amortization: the caller already
+// paid the round trip, one atomic add is noise. Exceeding the budget
+// sets the sticky error exactly as a poll would.
+func (c *Checker) Charge(n int64) error {
+	if c == nil || n <= 0 {
+		return nil
+	}
+	if c.err != nil {
+		return c.err
+	}
+	total := c.steps.Add(n)
+	if c.maxSteps > 0 && total > c.maxSteps {
+		c.err = ErrBudgetExceeded
+		c.interval = 0
+		return c.err
+	}
+	return nil
+}
+
+// Remaining returns the unspent step budget and whether a budget is
+// enforced at all. A router forwards the remaining budget — not the
+// original — to each remote attempt, so retries and hedges keep drawing
+// from the one request budget.
+func (c *Checker) Remaining() (int64, bool) {
+	if c == nil || c.maxSteps <= 0 {
+		return 0, false
+	}
+	rem := c.maxSteps - c.steps.Load()
+	if rem < 0 {
+		rem = 0
+	}
+	return rem, true
+}
+
 // Err returns the sticky error: non-nil once a poll has failed.
 func (c *Checker) Err() error {
 	if c == nil {

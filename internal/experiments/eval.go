@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"cqa/internal/cluster"
 	"cqa/internal/core"
 	"cqa/internal/db"
 	"cqa/internal/match"
@@ -66,7 +67,14 @@ const (
 		"rebuilding the database and its columnar view from the full fact list; p50_ns/p99_ns are " +
 		"hand-sampled per-op latencies. mutate-read: the warm certain decision on the Apply-derived " +
 		"version — the write-then-read freshness path, which must stay on the inherited interned " +
-		"walk (allocs_per_op must be 0, because the delta touched only a relation the query never reads)."
+		"walk (allocs_per_op must be 0, because the delta touched only a relation the query never reads). " +
+		"cluster-unhedged/cluster-hedged: the remote shard tier's tail latency — a falsified boolean " +
+		"scatter through the fault-tolerant router over four replicated loopback nodes, one node's " +
+		"link stalling every 4th delivery for 40ms (a deterministic straggler, no RNG). unhedged " +
+		"disables hedging, so every stalled delivery lands in some request's critical path; hedged " +
+		"re-issues a stalled shard call against the next replica after the 2ms hedge threshold, and " +
+		"p99_ns must collapse from the stall to the hedge delay. Hand-sampled percentiles: the tail, " +
+		"not the mean, is the serving-relevant number for a scatter that cannot early-exit."
 )
 
 // evalMutationBlocks is the instance size of the mutation rows: the
@@ -89,6 +97,26 @@ func evalShardChainN(quick bool) int {
 		return 500
 	}
 	return 43000
+}
+
+// evalClusterBlocks is the instance size of the cluster tail-latency
+// rows: small enough that per-shard evaluation is cheap (the measured
+// quantity is the straggler schedule, not the sweep), large enough that
+// every shard owns work.
+func evalClusterBlocks(quick bool) int {
+	if quick {
+		return 400
+	}
+	return 4000
+}
+
+// evalClusterReqs is the per-configuration request count of the cluster
+// rows; the p99 needs enough samples to be a real order statistic.
+func evalClusterReqs(quick bool) int {
+	if quick {
+		return 60
+	}
+	return 200
 }
 
 // evalSizes returns the block-count sweep of the certain benchmarks.
@@ -305,7 +333,75 @@ func RunEval(quick bool) (*EvalReport, error) {
 		pool.Close()
 		record("answers-sharded", sd.NumBlocks(), "warm", 0, k, r)
 	}
+	if err := runClusterEval(q, plan, quick, rep); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// runClusterEval measures the remote shard tier under a deterministic
+// straggler: four replicated loopback nodes behind the fault-tolerant
+// router, one node's link stalling every 4th delivery for 40ms. The
+// falsified instance forbids early exit, so an unhedged scatter eats
+// every stall it draws; the hedged configuration re-issues the stalled
+// shard call against the next replica in ring order after the 2ms
+// floor. Requests are hand-sampled because the percentiles, not the
+// mean, are the serving-relevant numbers for the tail.
+func runClusterEval(q query.Query, plan *core.Plan, quick bool, rep *EvalReport) error {
+	blocks := evalClusterBlocks(quick)
+	d := evalFalsifiedChainDB(q, blocks)
+	names := []string{"c0", "c1", "c2", "c3"}
+	nodes := make([]*cluster.LocalNode, len(names))
+	for i, name := range names {
+		nodes[i] = cluster.NewLocalNode(name)
+		nodes[i].Store.Put("bench", d)
+	}
+	sim := cluster.NewSimNet(cluster.NewLoopback(nodes...), 17)
+	sim.SetLink(names[len(names)-1], cluster.LinkFaults{StallEvery: 4, Stall: 40 * time.Millisecond})
+
+	reqs := evalClusterReqs(quick)
+	ctx := context.Background()
+	for _, cfg := range []struct {
+		name  string
+		hedge time.Duration
+	}{{"cluster-unhedged", 0}, {"cluster-hedged", 2 * time.Millisecond}} {
+		r, err := cluster.NewRouter(cluster.Config{
+			Nodes: names, Shards: 8, Transport: sim,
+			RetryBackoff: time.Millisecond, HedgeDelay: cfg.hedge, Seed: 23,
+		})
+		if err != nil {
+			return err
+		}
+		// Warm every node's snapshot structures outside the sample loop;
+		// the serving layer amortizes them across a snapshot's lifetime.
+		for i := 0; i < 3; i++ {
+			if _, _, err := r.Certain(ctx, plan, "bench", core.Options{}); err != nil {
+				return err
+			}
+		}
+		samples := make([]float64, 0, reqs)
+		var total time.Duration
+		for i := 0; i < reqs; i++ {
+			start := time.Now()
+			res, failed, err := r.Certain(ctx, plan, "bench", core.Options{})
+			el := time.Since(start)
+			if err != nil || res.Certain || failed != 0 {
+				return fmt.Errorf("experiments: %s request %d: certain=%v failed=%d err=%v",
+					cfg.name, i, res.Certain, failed, err)
+			}
+			samples = append(samples, float64(el.Nanoseconds()))
+			total += el
+		}
+		sort.Float64s(samples)
+		idx := func(p float64) float64 { return samples[int(p*float64(len(samples)-1))] }
+		rep.Results = append(rep.Results, EvalResult{
+			Name: cfg.name, Blocks: blocks, Index: "warm", Shards: 8,
+			NsPerOp:    float64(total.Nanoseconds()) / float64(reqs),
+			Iterations: reqs,
+			P50Ns:      idx(0.50), P99Ns: idx(0.99),
+		})
+	}
+	return nil
 }
 
 // runMutationEval measures the incremental mutation path at the
@@ -484,7 +580,11 @@ func ValidateEvalJSON(path string, quick bool) error {
 	missing[fmt.Sprintf("mutate-apply/%d/warm", mutBlocks)] = true
 	missing[fmt.Sprintf("mutate-rebuild/%d/cold", mutBlocks)] = true
 	missing[fmt.Sprintf("mutate-read/%d/warm", mutBlocks)] = true
+	clusterBlocks := evalClusterBlocks(quick)
+	missing[fmt.Sprintf("cluster-unhedged/%d/warm", clusterBlocks)] = true
+	missing[fmt.Sprintf("cluster-hedged/%d/warm", clusterBlocks)] = true
 	var applyNs, rebuildNs float64
+	var unhedgedP99, hedgedP99 float64
 	answersSeq, answersPool := false, false
 	shardMissing := map[int]bool{}
 	for _, k := range evalShardSweep {
@@ -532,6 +632,19 @@ func ValidateEvalJSON(path string, quick bool) error {
 				return fmt.Errorf("%s: results[%d] mutate-read/%d reports %d allocs/op; reads on an Apply-derived version must stay on the interned path (regenerate with -evaljson)",
 					path, i, res.Blocks, res.AllocsPerOp)
 			}
+		case "cluster-unhedged", "cluster-hedged":
+			delete(missing, fmt.Sprintf("%s/%d/%s", res.Name, res.Blocks, res.Index))
+			// The cluster rows are percentile measurements; a row without
+			// a sane tail has nothing to say.
+			if res.P50Ns <= 0 || res.P99Ns < res.P50Ns {
+				return fmt.Errorf("%s: results[%d] %s/%d lacks sane p50/p99 latencies (regenerate with -evaljson)",
+					path, i, res.Name, res.Blocks)
+			}
+			if res.Name == "cluster-unhedged" {
+				unhedgedP99 = res.P99Ns
+			} else {
+				hedgedP99 = res.P99Ns
+			}
 		case "answers":
 			if res.Workers == 1 {
 				answersSeq = true
@@ -572,6 +685,13 @@ func ValidateEvalJSON(path string, quick bool) error {
 	}
 	if shardedBlocks != flatBlocks {
 		return fmt.Errorf("%s: answers-sharded rows (%d blocks) measure a different instance than answers-flat (%d blocks)", path, shardedBlocks, flatBlocks)
+	}
+	// The hedging acceptance gate: under the deterministic 40ms
+	// straggler, the hedged p99 must beat the unhedged p99 — hedging
+	// that does not cut the tail is a regression in the router.
+	if unhedgedP99 > 0 && hedgedP99 > 0 && hedgedP99 >= unhedgedP99 {
+		return fmt.Errorf("%s: hedged p99 (%.0fns) does not beat unhedged p99 (%.0fns) under the straggler schedule (regenerate with -evaljson)",
+			path, hedgedP99, unhedgedP99)
 	}
 	// The structural-sharing acceptance ratio: at the full 100k-block
 	// scale a single-fact Apply must beat the full rebuild by at least

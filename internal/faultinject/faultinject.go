@@ -23,6 +23,14 @@
 //	                      dispatch; shard.eval.<id> targets one shard
 //	                      (fire a sleep to model a straggler, an error
 //	                      to model a dead shard)
+//	store.wal.append    – the journal append of a delta commit (before
+//	                      the version publish — the redo-logging window)
+//	store.commit        – between the WAL append and the version swap
+//	                      (a crash here is what boot replay recovers)
+//	cluster.node.exec   – entry of a node-side shard evaluation in the
+//	                      remote shard tier (an error models a node-local
+//	                      infrastructure fault the router must absorb;
+//	                      SimNet owns the network-shaped faults)
 package faultinject
 
 import (

@@ -1,0 +1,253 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cqa/internal/cluster"
+	"cqa/internal/wal"
+)
+
+const clusterTestQuery = "R(x | y), S(y | z)"
+const clusterTestDB = "R(a | b)\nR(a | c)\nS(b | z1)\nR(d | e)\nR(d | e2)\nS(e | z2)\nR(f | g)\nR(f | g2)\nS(g | z3)"
+
+// newShardNode starts one shard-node server instance over httptest with
+// the test database preloaded.
+func newShardNode(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(Config{CacheSize: 64, MaxWorkers: 8, ShardNode: true})
+	if _, err := srv.Store().PutFacts("corpus", clusterTestDB); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestShardEvalEndpoint(t *testing.T) {
+	_, ts := newShardNode(t)
+	tr := &cluster.HTTPTransport{}
+	resp, err := tr.Eval(context.Background(), ts.URL, &cluster.EvalRequest{
+		Query: clusterTestQuery, DB: "corpus", Kind: cluster.KindBool, Shard: 0, Shards: 2, Engine: "fo",
+	})
+	if err != nil {
+		t.Fatalf("shard eval over HTTP: %v", err)
+	}
+	if resp.Certain {
+		t.Fatalf("shard 0 of the falsifiable instance reported certain")
+	}
+
+	// A request defect (shard out of range) is a permanent RequestError.
+	_, err = tr.Eval(context.Background(), ts.URL, &cluster.EvalRequest{
+		Query: clusterTestQuery, DB: "corpus", Kind: cluster.KindBool, Shard: 9, Shards: 2, Engine: "fo",
+	})
+	var re *cluster.RequestError
+	if !errors.As(err, &re) {
+		t.Fatalf("out-of-range shard: got %v, want RequestError", err)
+	}
+
+	// An unknown database is a replication race: retryable unavailability.
+	_, err = tr.Eval(context.Background(), ts.URL, &cluster.EvalRequest{
+		Query: clusterTestQuery, DB: "nosuch", Kind: cluster.KindBool, Shard: 0, Shards: 2, Engine: "fo",
+	})
+	if !cluster.Unavailable(err) {
+		t.Fatalf("unknown database over HTTP: got %v, want Unavailable", err)
+	}
+}
+
+// TestShardEvalNotRoutedByDefault: a server without -shard-node does
+// not expose the endpoint.
+func TestShardEvalNotRoutedByDefault(t *testing.T) {
+	h := newTestServer().Handler()
+	rec := do(t, h, "POST", "/v1/shard/eval", `{}`, nil)
+	if rec.Code != 404 && rec.Code != 405 {
+		t.Fatalf("shard eval on a non-node instance: %d, want 404/405", rec.Code)
+	}
+}
+
+// TestClusterRoutedCertainHTTP runs the full remote tier over real
+// sockets: three shard nodes behind a routing front end, one node
+// killed mid-run. Verdicts stay exact and the router's retry counters
+// surface in /metrics.
+func TestClusterRoutedCertainHTTP(t *testing.T) {
+	var urls []string
+	var nodes []*httptest.Server
+	for i := 0; i < 3; i++ {
+		_, ts := newShardNode(t)
+		urls = append(urls, ts.URL)
+		nodes = append(nodes, ts)
+	}
+	front := New(Config{CacheSize: 64, MaxWorkers: 8, ClusterNodes: urls, ClusterShards: 6})
+	if _, err := front.Store().PutFacts("corpus", clusterTestDB); err != nil {
+		t.Fatal(err)
+	}
+	h := front.Handler()
+
+	body := fmt.Sprintf(`{"query": %q, "db": "corpus"}`, clusterTestQuery)
+	var resp certainResponse
+	rec := do(t, h, "POST", "/v1/certain", body, &resp)
+	if rec.Code != 200 || resp.Certain || resp.Approximate {
+		t.Fatalf("routed certain: %d %+v", rec.Code, resp)
+	}
+	if resp.DB == nil || resp.DB.Name != "corpus" {
+		t.Fatalf("routed certain lost the db ref: %+v", resp)
+	}
+
+	// Kill one replica: failover keeps the verdict exact.
+	nodes[1].Close()
+	resp = certainResponse{}
+	rec = do(t, h, "POST", "/v1/certain", body, &resp)
+	if rec.Code != 200 || resp.Certain || resp.Approximate {
+		t.Fatalf("routed certain with a dead node: %d %+v", rec.Code, resp)
+	}
+
+	mrec := do(t, h, "GET", "/metrics", "", nil)
+	for _, frag := range []string{"cqa_cluster_retries_total", "cqa_cluster_breaker_state{node=", "cqa_cluster_node_latency_seconds_count{node="} {
+		if !strings.Contains(mrec.Body.String(), frag) {
+			t.Errorf("metrics missing %q", frag)
+		}
+	}
+}
+
+// TestClusterRoutedAnswersHTTP: the routed answers union matches the
+// local evaluation exactly.
+func TestClusterRoutedAnswersHTTP(t *testing.T) {
+	_, ts := newShardNode(t)
+	front := New(Config{CacheSize: 64, MaxWorkers: 8, ClusterNodes: []string{ts.URL}, ClusterShards: 3})
+	if _, err := front.Store().PutFacts("corpus", clusterTestDB); err != nil {
+		t.Fatal(err)
+	}
+	h := front.Handler()
+	body := fmt.Sprintf(`{"query": %q, "db": "corpus", "free": ["x"]}`, clusterTestQuery)
+	var resp answersResponse
+	rec := do(t, h, "POST", "/v1/answers", body, &resp)
+	if rec.Code != 200 {
+		t.Fatalf("routed answers: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// The same request evaluated locally (no cluster) must agree.
+	local := newTestServer()
+	if _, err := local.Store().PutFacts("corpus", clusterTestDB); err != nil {
+		t.Fatal(err)
+	}
+	var want answersResponse
+	if rec := do(t, local.Handler(), "POST", "/v1/answers", body, &want); rec.Code != 200 {
+		t.Fatalf("local answers: %d", rec.Code)
+	}
+	if resp.Count != want.Count {
+		t.Fatalf("routed answers %d, local %d", resp.Count, want.Count)
+	}
+
+	// Unknown database 404s at the front without touching the cluster.
+	rec = do(t, h, "POST", "/v1/answers", fmt.Sprintf(`{"query": %q, "db": "nosuch", "free": ["x"]}`, clusterTestQuery), nil)
+	if rec.Code != 404 {
+		t.Fatalf("unknown db through the cluster front: %d", rec.Code)
+	}
+}
+
+// shardDownTransport fails every request for one logical shard with the
+// retryable taxonomy — a deterministic partial failure no failover can
+// absorb (the failure follows the shard, not the node).
+type shardDownTransport struct {
+	inner cluster.Transport
+	shard int
+}
+
+func (t *shardDownTransport) Eval(ctx context.Context, node string, req *cluster.EvalRequest) (*cluster.EvalResponse, error) {
+	if req.Shard == t.shard {
+		return nil, fmt.Errorf("%w: shard %d link down", cluster.ErrUnavailable, req.Shard)
+	}
+	return t.inner.Eval(ctx, node, req)
+}
+
+func (t *shardDownTransport) Ready(ctx context.Context, node string) error {
+	return t.inner.Ready(ctx, node)
+}
+
+// TestClusterPartialFailureSemantics: a shard that stays unreachable
+// degrades an all-false certain request explicitly (X-CQA-Degraded:
+// partial-shards, approximate: true) when approximation is allowed,
+// fails it closed with 503 shard_unavailable when not, and always
+// fails the answers union closed.
+func TestClusterPartialFailureSemantics(t *testing.T) {
+	node := cluster.NewLocalNode("solo")
+	if _, err := node.Store.PutFacts("corpus", clusterTestDB); err != nil {
+		t.Fatal(err)
+	}
+	front := New(Config{
+		CacheSize: 64, MaxWorkers: 8,
+		ClusterNodes:     []string{"solo"},
+		ClusterShards:    4,
+		ClusterTransport: &shardDownTransport{inner: cluster.NewLoopback(node), shard: 0},
+	})
+	if _, err := front.Store().PutFacts("corpus", clusterTestDB); err != nil {
+		t.Fatal(err)
+	}
+	h := front.Handler()
+
+	// Approximation is the server default: the partial scatter concludes
+	// false from the survivors, explicitly degraded.
+	body := fmt.Sprintf(`{"query": %q, "db": "corpus"}`, clusterTestQuery)
+	var resp certainResponse
+	rec := do(t, h, "POST", "/v1/certain", body, &resp)
+	if rec.Code != 200 || resp.Certain || !resp.Approximate {
+		t.Fatalf("partial scatter: %d %+v", rec.Code, resp)
+	}
+	if got := rec.Header().Get("X-CQA-Degraded"); got != "partial-shards" {
+		t.Fatalf("X-CQA-Degraded = %q, want partial-shards", got)
+	}
+	if resp.Fraction == nil || *resp.Fraction <= 0 || *resp.Fraction >= 1 {
+		t.Fatalf("fraction = %v, want in (0,1)", resp.Fraction)
+	}
+
+	// Explicitly exact request: fail closed with the 503 taxonomy.
+	exact := fmt.Sprintf(`{"query": %q, "db": "corpus", "approximate": false}`, clusterTestQuery)
+	rec = do(t, h, "POST", "/v1/certain", exact, nil)
+	if rec.Code != 503 || !strings.Contains(rec.Body.String(), "shard_unavailable") {
+		t.Fatalf("exact partial scatter: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 shard_unavailable without Retry-After")
+	}
+
+	// Answers have no sound degraded form: always fail closed.
+	ansBody := fmt.Sprintf(`{"query": %q, "db": "corpus", "free": ["x"]}`, clusterTestQuery)
+	rec = do(t, h, "POST", "/v1/answers", ansBody, nil)
+	if rec.Code != 503 || !strings.Contains(rec.Body.String(), "shard_unavailable") {
+		t.Fatalf("partial answers union: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestWALMetricsGauges: with a journal attached, /metrics exposes the
+// journal size gauges and they move with mutations.
+func TestWALMetricsGauges(t *testing.T) {
+	srv := newTestServer()
+	l, err := wal.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	srv.Store().SetWAL(l)
+	h := srv.Handler()
+	if rec := do(t, h, "PUT", "/v1/db/prod", "R(a | b)\n", nil); rec.Code != 200 {
+		t.Fatalf("upload: %d", rec.Code)
+	}
+	rec := do(t, h, "GET", "/metrics", "", nil)
+	body := rec.Body.String()
+	if !strings.Contains(body, "cqa_wal_records_total 1") {
+		t.Errorf("metrics missing cqa_wal_records_total 1:\n%s", body)
+	}
+	if !strings.Contains(body, "cqa_wal_bytes ") || strings.Contains(body, "cqa_wal_bytes 0\n") {
+		t.Errorf("metrics missing a positive cqa_wal_bytes gauge:\n%s", body)
+	}
+
+	// No journal, no gauges.
+	plain := do(t, newTestServer().Handler(), "GET", "/metrics", "", nil)
+	if strings.Contains(plain.Body.String(), "cqa_wal_bytes") {
+		t.Error("WAL gauges exposed without a journal attached")
+	}
+}

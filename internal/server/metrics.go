@@ -228,6 +228,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "cqa_db_apply_duration_seconds_sum %g\n", ah.SumSeconds)
 	fmt.Fprintf(&b, "cqa_db_apply_duration_seconds_count %d\n", ah.Count)
 
+	if ws, ok := s.store.WALStats(); ok {
+		fmt.Fprintf(&b, "cqa_wal_bytes %d\n", ws.Bytes)
+		fmt.Fprintf(&b, "cqa_wal_records_total %d\n", ws.Records)
+	}
+
+	if s.router != nil {
+		rst := s.router.Stats()
+		fmt.Fprintf(&b, "cqa_cluster_retries_total %d\n", rst.Retries)
+		fmt.Fprintf(&b, "cqa_cluster_hedges_total %d\n", rst.Hedges)
+		fmt.Fprintf(&b, "cqa_cluster_hedge_wins_total %d\n", rst.HedgeWins)
+		for _, ns := range rst.Nodes {
+			// 0 closed / 1 half-open / 2 open, matching cluster.BreakerState.
+			fmt.Fprintf(&b, "cqa_cluster_breaker_state{node=%q} %d\n", ns.Name, int(ns.Breaker))
+			fmt.Fprintf(&b, "cqa_cluster_node_failures_total{node=%q} %d\n", ns.Name, ns.Failures)
+			snap := ns.Hist.Snapshot()
+			for i, bound := range snap.Bounds {
+				fmt.Fprintf(&b, "cqa_cluster_node_latency_seconds_bucket{node=%q,le=%q} %d\n",
+					ns.Name, formatBound(bound), snap.Cumulative[i])
+			}
+			fmt.Fprintf(&b, "cqa_cluster_node_latency_seconds_bucket{node=%q,le=\"+Inf\"} %d\n", ns.Name, snap.Inf)
+			fmt.Fprintf(&b, "cqa_cluster_node_latency_seconds_sum{node=%q} %g\n", ns.Name, snap.SumSeconds)
+			fmt.Fprintf(&b, "cqa_cluster_node_latency_seconds_count{node=%q} %d\n", ns.Name, snap.Count)
+		}
+	}
+
 	sst := s.store.ShardStats()
 	fmt.Fprintf(&b, "cqa_shard_building %d\n", sst.Building)
 	fmt.Fprintf(&b, "cqa_shard_hedges_total %d\n", sst.Hedges)

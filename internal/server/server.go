@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"cqa/internal/catalog"
+	"cqa/internal/cluster"
 	"cqa/internal/core"
 	"cqa/internal/db"
 	"cqa/internal/evalctx"
@@ -106,6 +107,25 @@ type Config struct {
 	// HedgeDelay is the straggler threshold of hedged duplicate
 	// dispatch on the snapshot pools; 0 disables hedging.
 	HedgeDelay time.Duration
+	// ShardNode exposes POST /v1/shard/eval: this instance answers
+	// per-shard evaluation requests from a cluster router.
+	ShardNode bool
+	// ClusterNodes, when non-empty, routes stored-database certain and
+	// answers requests through a fault-tolerant cluster.Router over
+	// these node base URLs instead of evaluating locally. The routing
+	// instance still holds the data (uploads are replicated to every
+	// node), which it uses for existence and schema validation;
+	// inline-facts requests always evaluate locally.
+	ClusterNodes []string
+	// ClusterShards is the logical partition width of routed work;
+	// <= 0 selects the router default (2x the node count).
+	ClusterShards int
+	// ClusterHedgeDelay enables hedged duplicate dispatch on the
+	// router (p99-derived, floored by this value); 0 disables it.
+	ClusterHedgeDelay time.Duration
+	// ClusterTransport overrides the router transport (tests inject
+	// the simulated-fault network); nil selects the HTTP transport.
+	ClusterTransport cluster.Transport
 }
 
 // Server carries the shared serving state. Create with New; the
@@ -124,6 +144,8 @@ type Server struct {
 	slowlog     *slowLog
 	shards      int
 	hedge       time.Duration
+	shardNode   bool
+	router      *cluster.Router
 	// draining is flipped by graceful shutdown before the listener
 	// stops accepting: readiness goes false first, so load balancers
 	// stop routing while in-flight requests finish.
@@ -166,7 +188,7 @@ func New(cfg Config) *Server {
 	if slowThreshold == 0 {
 		slowThreshold = DefaultSlowLogThreshold
 	}
-	return &Server{
+	s := &Server{
 		cache:       plancache.New(cfg.CacheSize),
 		store:       store.New(),
 		logger:      cfg.Logger,
@@ -180,7 +202,25 @@ func New(cfg Config) *Server {
 		slowlog:     newSlowLog(cfg.SlowLogSize, slowThreshold),
 		shards:      cfg.Shards,
 		hedge:       cfg.HedgeDelay,
+		shardNode:   cfg.ShardNode,
 	}
+	if len(cfg.ClusterNodes) > 0 {
+		tr := cfg.ClusterTransport
+		if tr == nil {
+			tr = &cluster.HTTPTransport{}
+		}
+		// The only NewRouter failure modes (no nodes, no transport) are
+		// excluded above, so the error path is unreachable here.
+		if r, err := cluster.NewRouter(cluster.Config{
+			Nodes:      cfg.ClusterNodes,
+			Shards:     cfg.ClusterShards,
+			Transport:  tr,
+			HedgeDelay: cfg.ClusterHedgeDelay,
+		}); err == nil {
+			s.router = r
+		}
+	}
+	return s
 }
 
 // SetDraining flips the drain flag: a draining server reports not-ready
@@ -213,6 +253,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("DELETE /v1/db/{name}", s.instrument("db-delete", false, s.handleDBDelete))
 	mux.Handle("GET /v1/db", s.instrument("db-list", false, s.handleDBList))
 	mux.Handle("GET /debug/slowlog", s.instrument("slowlog", false, s.handleSlowlog))
+	if s.shardNode {
+		mux.Handle("POST /v1/shard/eval", s.instrument("shard-eval", true, s.handleShardEval))
+	}
 	return mux
 }
 
@@ -370,7 +413,12 @@ const statusClientClosedRequest = 499
 // pre-existing 422 semantics (e.g. forcing the fo engine on a cyclic
 // query).
 func (s *Server) evalError(w http.ResponseWriter, err error) {
+	var reqErr *cluster.RequestError
 	switch {
+	case errors.As(err, &reqErr):
+		// A cluster node diagnosed the request itself as defective;
+		// surface its stable code rather than the transport taxonomy.
+		httpErrorCode(w, http.StatusBadRequest, reqErr.Code, "%v", reqErr)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.metrics.timeouts.Add(1)
 		w.Header().Set("Retry-After", "1")
@@ -645,6 +693,10 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if s.router != nil && req.DB != "" && req.Facts == "" {
+		s.certainViaCluster(w, r, req, plan, hit, start, opts)
+		return
+	}
 	opts.Tracer = tr
 	ix, pool, ref, ok := s.resolveDB(w, req, plan, tr)
 	if !ok {
@@ -718,6 +770,10 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, ok := s.evalOptions(w, req)
 	if !ok {
+		return
+	}
+	if s.router != nil && req.DB != "" && req.Facts == "" {
+		s.answersViaCluster(w, r, req, plan, hit, start, opts)
 		return
 	}
 	opts.Tracer = tr

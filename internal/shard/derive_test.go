@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"testing"
 	"time"
@@ -213,6 +214,76 @@ func TestDeriveUnbuiltParent(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("partition differs after background rebuild:\n  %s\n  %s", got[i], want[i])
 		}
+	}
+}
+
+// TestDeriveLifecycleRapidApply hammers the snapshot-replacement path
+// the store drives on every delta: derive a child pool from a parent
+// whose initial build is still running, close the replaced parent
+// (concurrently and repeatedly — Close must be idempotent), and move
+// on. NumGoroutine bracketing catches leaked shard workers; the
+// repeated Close catches a close-of-closed-channel panic.
+func TestDeriveLifecycleRapidApply(t *testing.T) {
+	defer faultinject.Reset()
+	// Slow every shard build enough that Derive reliably observes a
+	// still-building parent and takes the background-rebuild path.
+	faultinject.Set("shard.index", func(int) error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+
+	base := runtime.NumGoroutine()
+	relR := schema.NewRelation("R", 2, 1)
+	for iter := 0; iter < 8; iter++ {
+		cur := db.New()
+		for i := 0; i < 8; i++ {
+			cur.Add(db.NewFact(relR, query.Const(fmt.Sprintf("k%d", i)), "v"))
+		}
+		pool := NewPool(cur, 4, PoolOptions{})
+		for step := 0; step < 6; step++ {
+			var delta db.Delta
+			delta.Insert(db.NewFact(relR, query.Const(fmt.Sprintf("i%d_%d", iter, step)), "v"))
+			child, res, err := cur.ApplyChanges(delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			derived := pool.Derive(child, res.Changes)
+			if derived == nil {
+				t.Fatal("Derive returned nil on an open pool")
+			}
+			// The replaced parent closes while the child may still be
+			// building, exactly as publishDelta's `go cur.ClosePool()`
+			// races the next request's pool use.
+			old := pool
+			done := make(chan struct{})
+			go func() { old.Close(); close(done) }()
+			old.Close()
+			<-done
+			old.Close()
+			pool, cur = derived, child
+		}
+		waitBuilt(t, pool)
+		if b := pool.Building(); b != 0 {
+			t.Fatalf("iter %d: %d shards still building after waitBuilt", iter, b)
+		}
+		pool.Close()
+	}
+	faultinject.Reset()
+
+	// Every worker exits on Close; give the scheduler a moment to reap
+	// them before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before, %d after all pools closed\n%s",
+				base, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

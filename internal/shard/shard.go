@@ -26,10 +26,12 @@
 package shard
 
 import (
+	"fmt"
 	"hash/fnv"
 	"runtime"
 
 	"cqa/internal/db"
+	"cqa/internal/trace"
 )
 
 // Workers normalizes a requested worker count the way every pool in the
@@ -119,3 +121,27 @@ func (v *View) SpansOf(relName string) ([]int32, bool) {
 
 // NumBlocks returns the number of blocks this shard owns.
 func (v *View) NumBlocks() int { return v.s.numBlocks }
+
+// NewView builds a standalone view of shard id (of n) over d, outside
+// any pool: the same Of-hash partition a pool shard would own, built
+// synchronously on the caller. A remote cluster node uses it when the
+// partition width a request names differs from the width of the pool
+// its snapshot already cached — correctness must not depend on every
+// node being configured with the same local fan-out. The build fires
+// the "shard.index" fault hooks and wraps a failure in ErrFailed,
+// exactly like a pool build.
+func NewView(d *db.DB, id, n int) (*View, error) {
+	if n < 1 {
+		n = 1
+	}
+	if id < 0 || id >= n {
+		return nil, fmt.Errorf("shard: view id %d out of range [0,%d)", id, n)
+	}
+	p := &Pool{db: d, n: n}
+	s := &shardState{id: id, pool: p, hist: trace.NewHistogram(nil)}
+	if err := s.build(); err != nil {
+		return nil, fmt.Errorf("%w: shard %d index build: %w", ErrFailed, id, err)
+	}
+	s.built.Store(true)
+	return &View{ID: id, DB: d, s: s}, nil
+}

@@ -235,6 +235,18 @@ func (s *Store) SetWAL(l *wal.Log) {
 	s.wal = l
 }
 
+// WALStats reports the attached journal's size counters; ok is false
+// when the store runs without durability.
+func (s *Store) WALStats() (wal.Stats, bool) {
+	s.mu.RLock()
+	l := s.wal
+	s.mu.RUnlock()
+	if l == nil {
+		return wal.Stats{}, false
+	}
+	return l.Stats(), true
+}
+
 // ReplayWAL rebuilds the store's state from the journal in dir,
 // returning the number of records applied. Replay drives the ordinary
 // mutation paths, so the rebuilt version chain is exactly the chain the

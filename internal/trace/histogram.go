@@ -63,6 +63,28 @@ type HistogramSnapshot struct {
 	Count      int64
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) in seconds from the
+// bucket counts: the upper bound of the first bucket whose cumulative
+// count covers the rank. Observations beyond the last bound report the
+// last bound — an underestimate, but a stable one, which is what the
+// router's p99-derived hedge delay needs (it clamps the result anyway).
+// An empty snapshot reports 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	for i, cum := range s.Cumulative {
+		if cum >= rank {
+			return s.Bounds[i]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // Snapshot copies the histogram's current state. Counts are read
 // per-bucket without a global lock, so a snapshot taken during
 // concurrent Observe calls may be off by in-flight samples but is

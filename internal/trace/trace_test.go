@@ -209,6 +209,38 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	if got := h.Snapshot().Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	for i := 0; i < 98; i++ {
+		h.Observe(500 * time.Microsecond) // <= 1ms
+	}
+	h.Observe(50 * time.Millisecond) // <= 100ms
+	h.Observe(3 * time.Second)       // beyond the last bound
+
+	s := h.Snapshot()
+	if got := s.Quantile(0.50); got != 0.001 {
+		t.Errorf("p50 = %v, want 0.001", got)
+	}
+	if got := s.Quantile(0.99); got != 0.1 {
+		t.Errorf("p99 = %v, want 0.1", got)
+	}
+	// The overflow bucket has no upper limit: the estimate clamps to the
+	// last bound rather than inventing a number.
+	if got := s.Quantile(1.0); got != 0.1 {
+		t.Errorf("p100 = %v, want the last bound 0.1", got)
+	}
+	// A tiny q still reports a real bucket (rank floors at 1).
+	if got := s.Quantile(0.001); got != 0.001 {
+		t.Errorf("p0.1 = %v, want 0.001", got)
+	}
+	if got := (HistogramSnapshot{Count: 5}).Quantile(0.5); got != 0 {
+		t.Errorf("boundless snapshot quantile = %v, want 0", got)
+	}
+}
+
 func TestHistogramDefaultBucketsAndConcurrency(t *testing.T) {
 	h := NewHistogram(nil)
 	if len(h.bounds) != len(DefaultLatencyBuckets) {

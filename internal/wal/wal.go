@@ -55,10 +55,30 @@ type Log struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
+	// bytes and records track the journal size (including what was on
+	// disk at Open): an append-only journal with no compaction grows
+	// forever, so both are exported as gauges and checked against the
+	// warn threshold.
+	bytes   int64
+	records int64
+	// warnBytes, when > 0, invokes warn once when bytes first crosses
+	// it — the operator signal to rotate or snapshot-compact.
+	warnBytes int64
+	warn      func(bytes int64)
+	warned    bool
+}
+
+// Stats is a point-in-time size summary of the journal.
+type Stats struct {
+	// Bytes is the journal file size, pre-existing content included.
+	Bytes int64
+	// Records counts journal records: replayed-at-open plus appended.
+	Records int64
 }
 
 // Open creates the directory if needed and opens the journal for
-// appending.
+// appending. The size counters start from what is already on disk, so
+// gauges survive restarts.
 func Open(dir string) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
@@ -68,7 +88,54 @@ func Open(dir string) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	return &Log{f: f, path: path}, nil
+	l := &Log{f: f, path: path}
+	if st, err := f.Stat(); err == nil {
+		l.bytes = st.Size()
+	}
+	l.records = countRecords(path)
+	return l, nil
+}
+
+// countRecords counts the newline-terminated records already in the
+// journal; a torn tail (no trailing newline) is not counted, matching
+// what Replay would apply.
+func countRecords(path string) int64 {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	var n int64
+	buf := make([]byte, 64<<10)
+	for {
+		k, err := f.Read(buf)
+		for _, b := range buf[:k] {
+			if b == '\n' {
+				n++
+			}
+		}
+		if err != nil {
+			return n
+		}
+	}
+}
+
+// SetWarn arms the size warning: warn fires once, from the Append that
+// first pushes the journal past threshold bytes. threshold <= 0
+// disarms it.
+func (l *Log) SetWarn(threshold int64, warn func(bytes int64)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.warnBytes = threshold
+	l.warn = warn
+	l.warned = false
+}
+
+// Stats returns the journal's current size counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Bytes: l.bytes, Records: l.records}
 }
 
 // Path returns the journal file path.
@@ -92,6 +159,15 @@ func (l *Log) Append(r Record) error {
 	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.bytes += int64(len(buf))
+	l.records++
+	if l.warnBytes > 0 && !l.warned && l.bytes >= l.warnBytes {
+		l.warned = true
+		if l.warn != nil {
+			// Called under the lock: keep the callback cheap (log a line).
+			l.warn(l.bytes)
+		}
 	}
 	return nil
 }

@@ -117,3 +117,62 @@ func TestReplayStopsOnApplyError(t *testing.T) {
 		t.Fatalf("n=%d err=%v", n, err)
 	}
 }
+
+func TestStatsAndWarnThreshold(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Bytes != 0 || st.Records != 0 {
+		t.Fatalf("fresh journal stats = %+v, want zero", st)
+	}
+	var warns []int64
+	l.SetWarn(1, func(bytes int64) { warns = append(warns, bytes) })
+	for i := 0; i < 3; i++ {
+		if err := l.Append(Record{Op: "put", Name: "prod", Version: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Records != 3 {
+		t.Fatalf("records = %d, want 3", st.Records)
+	}
+	fi, err := os.Stat(filepath.Join(dir, FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bytes != fi.Size() {
+		t.Fatalf("bytes gauge %d, file size %d", st.Bytes, fi.Size())
+	}
+	// The warning fires exactly once, from the append that crossed the
+	// threshold.
+	if len(warns) != 1 || warns[0] <= 0 {
+		t.Fatalf("warns = %v, want exactly one positive", warns)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: counters resume from what is on disk, torn tails excluded.
+	f, err := os.OpenFile(filepath.Join(dir, FileName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"put","na`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	st2 := l2.Stats()
+	if st2.Records != 3 {
+		t.Fatalf("reopened records = %d, want 3 (torn tail uncounted)", st2.Records)
+	}
+	if st2.Bytes <= st.Bytes {
+		t.Fatalf("reopened bytes = %d, want > %d (torn tail bytes included)", st2.Bytes, st.Bytes)
+	}
+}
