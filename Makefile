@@ -28,7 +28,7 @@ race:
 check: build test bench-smoke fuzz-smoke cover chaos-net
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
-	$(GO) test -race ./internal/server ./internal/plancache ./internal/store ./internal/core ./internal/db ./internal/rewrite ./internal/trace ./internal/shard ./internal/sym ./internal/colstore
+	$(GO) test -race ./internal/server ./internal/plancache ./internal/store ./internal/core ./internal/db ./internal/rewrite ./internal/trace ./internal/shard ./internal/sym ./internal/colstore ./internal/counting
 
 # Chaos gate: the fault-injection, cancellation, deadline, budget,
 # shedding, and goroutine-leak suites under the race detector. This is
@@ -37,7 +37,7 @@ check: build test bench-smoke fuzz-smoke cover chaos-net
 # rather than the happy path.
 chaos:
 	$(GO) test -race ./internal/faultinject ./internal/evalctx
-	$(GO) test -race -run 'Cancel|Deadline|Budget|Leak|Fault|Shedding|Draining|Liveness|Readiness|Degrad|Hedge|DeadShard|Unavailable' ./internal/core ./internal/server ./internal/shard
+	$(GO) test -race -run 'Cancel|Deadline|Budget|Leak|Fault|Shedding|Draining|Liveness|Readiness|Degrad|Hedge|DeadShard|Unavailable' ./internal/core ./internal/server ./internal/shard ./internal/counting
 	$(GO) test -race -run 'Crash|Races|Fallback' ./internal/store
 
 # Network-chaos gate: the remote shard tier under the race detector —
@@ -68,14 +68,15 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/query/
 	$(GO) test -fuzz=FuzzParseFact -fuzztime=30s ./internal/db/
 	$(GO) test -fuzz=FuzzDifferential -fuzztime=30s ./internal/difftest/
+	$(GO) test -fuzz=FuzzCounting -fuzztime=30s ./internal/difftest/
 
-# Deterministic slice of the fuzz suite: the seeded differential corpus
-# (>= 500 generated instances on which every applicable engine must
-# agree with the brute-force oracle) plus a replay of the checked-in
-# FuzzDifferential seed corpus. No live fuzzing — this is the `check`
-# gate; use `make fuzz` for a real exploration burst.
+# Deterministic slice of the fuzz suite: the seeded differential corpora
+# (>= 500 generated instances each for the decision engines and the
+# repair-counting engine, checked against the brute-force oracle) plus a
+# replay of the checked-in fuzz seed corpora. No live fuzzing — this is
+# the `check` gate; use `make fuzz` for a real exploration burst.
 fuzz-smoke:
-	$(GO) test -run 'TestDifferentialSeeded|FuzzDifferential' ./internal/difftest/
+	$(GO) test -run 'TestDifferentialSeeded|TestCountingDifferential|FuzzDifferential|FuzzCounting' ./internal/difftest/
 
 vet:
 	$(GO) vet ./...
@@ -90,12 +91,13 @@ vet:
 # on, and the mutation path (db structural sharing, store group
 # commit + WAL) where an aliasing bug corrupts every derived version,
 # and the cluster router (retry/hedge/breaker/partial-failure logic is
-# exactly the code that only runs when something is already wrong).
-# Floors are a few points under current coverage so they catch
-# deleted tests, not noise.
+# exactly the code that only runs when something is already wrong),
+# and the repair-counting engine (an off-by-one in the factorized count
+# is invisible to the decision tests). Floors are a few points under
+# current coverage so they catch deleted tests, not noise.
 cover:
 	$(GO) test -cover ./internal/... | tee cover.out
-	@status=0; for spec in trace:90 rewrite:70 conp:75 shard:80 sym:90 colstore:90 db:80 store:80 cluster:80; do \
+	@status=0; for spec in trace:90 rewrite:70 conp:75 shard:80 sym:90 colstore:90 db:80 store:80 cluster:80 counting:85; do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		pct=$$(awk -v p="cqa/internal/$$pkg" '$$2 == p { for (i=1;i<=NF;i++) if ($$i ~ /%$$/) { sub(/%/,"",$$i); print $$i; exit } }' cover.out); \
 		if [ -z "$$pct" ]; then echo "cover: no coverage reported for internal/$$pkg"; status=1; \

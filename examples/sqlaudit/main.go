@@ -79,7 +79,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nsatisfying repairs: %v of %v (fraction %.2f)\n",
-		cres.Satisfying, cres.Total, cres.Fraction())
+		cres.Satisfying, cres.Total, cres.Fraction)
 	// Not certain: the repair {Payment(p1|stripe), Payment(p2|stripe),
 	// Acquirer(stripe|US), ...} routes everything through a US acquirer.
 	if !res.Certain {

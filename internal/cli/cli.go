@@ -19,7 +19,6 @@ import (
 	"cqa/internal/baseline"
 	"cqa/internal/catalog"
 	"cqa/internal/core"
-	"cqa/internal/counting"
 	"cqa/internal/db"
 	"cqa/internal/evalctx"
 	"cqa/internal/experiments"
@@ -150,7 +149,7 @@ func RunCertain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	showRepair := fs.Bool("repair", false, "print a falsifying repair when not certain")
 	answers := fs.String("answers", "", "comma-separated free variables: report certain answers")
 	possible := fs.Bool("possible", false, "also report POSSIBILITY(q) (true in some repair)")
-	count := fs.Bool("count", false, "also report the exact number of satisfying repairs")
+	count := fs.Bool("count", false, "also report the number of satisfying repairs (exact, or an anytime estimate on oversized components)")
 	fraction := fs.Int("fraction", 0, "estimate the satisfying-repair fraction with N samples")
 	showTrace := fs.Bool("trace", false, "print the Theorem 4 pipeline trace (ptime engine)")
 	showStages := fs.Bool("stages", false, "print the per-stage duration/counter breakdown after evaluation")
@@ -265,12 +264,21 @@ func RunCertain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "possible: %v\n", core.Possible(q, d))
 	}
 	if *count {
-		cres, err := counting.SatisfyingRepairs(q, d)
-		if err != nil {
+		// The count rides the same deadline/budget/tracer as the
+		// decision, under the anytime contract: an oversized component
+		// degrades to a sampled estimate instead of refusing.
+		copts := opts
+		copts.Approximate = true
+		cres, err := core.CountCtx(ctx, q, d, copts)
+		switch {
+		case err != nil:
 			fmt.Fprintln(stderr, "cqa-certain: count:", err)
-		} else {
+		case cres.Exact:
 			fmt.Fprintf(stdout, "satisfying repairs: %v of %v (%.4f)\n",
-				cres.Satisfying, cres.Total, cres.Fraction())
+				cres.Satisfying, cres.Total, cres.Fraction)
+		default:
+			fmt.Fprintf(stdout, "satisfying repairs: ~%.4f of %v (±%.4f, %d of %d components sampled)\n",
+				cres.Fraction, cres.Total, cres.Confidence, cres.Sampled, cres.Components)
 		}
 	}
 	if *fraction > 0 {

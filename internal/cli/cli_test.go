@@ -3,6 +3,7 @@ package cli
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -218,6 +219,29 @@ func TestCertainCountPossibleFraction(t *testing.T) {
 	}
 	o := out.String()
 	for _, frag := range []string{"possible: true", "satisfying repairs: 1 of 2", "estimated satisfying fraction:"} {
+		if !strings.Contains(o, frag) {
+			t.Errorf("output missing %q:\n%s", frag, o)
+		}
+	}
+}
+
+func TestCertainCountDegrades(t *testing.T) {
+	// Hub gadget: one constraint component with assignment space 2^65,
+	// past the exact bound, so -count reports an anytime estimate.
+	var facts strings.Builder
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&facts, "R(x%d | hub)\nR(x%d | dead%d)\n", i, i, i)
+	}
+	facts.WriteString("S(hub | z0)\nS(hub | z1)\n")
+	var out, errb bytes.Buffer
+	code := RunCertain([]string{
+		"-q", "R(x | y), S(y | z)", "-db", "-", "-count",
+	}, strings.NewReader(facts.String()), &out, &errb)
+	if code != 0 && code != 1 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	o := out.String()
+	for _, frag := range []string{"satisfying repairs: ~", "components sampled"} {
 		if !strings.Contains(o, frag) {
 			t.Errorf("output missing %q:\n%s", frag, o)
 		}

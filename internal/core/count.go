@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+
+	"cqa/internal/counting"
+	"cqa/internal/db"
+	"cqa/internal/evalctx"
+	"cqa/internal/match"
+	"cqa/internal/query"
+)
+
+// CountResult reports a repair-counting (#CERTAINTY) evaluation: the
+// exact satisfying/total repair counts, or — when oversized constraint
+// components degraded to Monte Carlo sampling — an anytime fraction
+// estimate with a 95% confidence half-width. Class carries the plan's
+// decision-complexity classification alongside the counts.
+type CountResult struct {
+	counting.Result
+	Class Class
+}
+
+// Count counts the repairs of d satisfying the plan's query. See
+// CountIndexedCtx for options and degradation semantics.
+func (p *Plan) Count(d *db.DB, opts Options) (CountResult, error) {
+	return p.CountIndexedCtx(context.Background(), match.NewIndex(d), opts)
+}
+
+// CountIndexed is Count over a prebuilt evaluation index.
+func (p *Plan) CountIndexed(ix *match.Index, opts Options) (CountResult, error) {
+	return p.CountIndexedCtx(context.Background(), ix, opts)
+}
+
+// CountIndexedCtx counts repairs under the caller's context and budget,
+// built into an evalctx.Checker exactly like the decision engines:
+// cancellation and MaxSteps exhaustion surface as errors mid-count. The
+// counter factorizes the instance into constraint components and
+// enumerates each exactly while the assignment space fits the
+// per-component bound and the remaining step budget; beyond that,
+// opts.Approximate selects the anytime path — the oversized component
+// is estimated by uniform repair sampling (deterministically seeded,
+// opts.Samples draws) and the result carries Exact=false with a
+// confidence interval instead of an exact Satisfying count. Without
+// Approximate an oversized component is a counting.ErrComponentTooLarge
+// error. The counter is not sharded; opts.Shards/ShardPool are ignored.
+func (p *Plan) CountIndexedCtx(ctx context.Context, ix *match.Index, opts Options) (CountResult, error) {
+	chk := evalctx.NewTraced(ctx, evalctx.Limits{MaxSteps: opts.MaxSteps, MemoCap: opts.MemoCap}, opts.Tracer)
+	if err := chk.Check(); err != nil {
+		return CountResult{}, err
+	}
+	res, err := counting.Count(p.Query, ix, chk, counting.Options{
+		Samples: opts.Samples,
+		Exact:   !opts.Approximate,
+	})
+	if err != nil {
+		return CountResult{}, err
+	}
+	return CountResult{Result: res, Class: p.Class}, nil
+}
+
+// CountCtx is the package-level facade: compile q and count the repairs
+// of d satisfying it.
+func CountCtx(ctx context.Context, q query.Query, d *db.DB, opts Options) (CountResult, error) {
+	p, err := Compile(q)
+	if err != nil {
+		return CountResult{}, err
+	}
+	return p.CountIndexedCtx(ctx, match.NewIndex(d), opts)
+}

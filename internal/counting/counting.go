@@ -1,4 +1,4 @@
-// Package counting computes the exact number of repairs that satisfy a
+// Package counting computes the number of repairs that satisfy a
 // self-join-free conjunctive query — the quantity behind the counting
 // variant #CERTAINTY(q) studied by Maslowski and Wijsen (cited as [12]
 // by the reproduced paper). The decision problem reduces to it:
@@ -8,202 +8,467 @@
 // embeddings of q, so the "constraint graph" (blocks joined by a shared
 // embedding) splits into independent components whose falsifying
 // assignment counts multiply. Within a component it enumerates
-// exhaustively with early pruning; the per-component state space is
-// capped, so the counter is exact where it answers and refuses otherwise
-// (the problem is #P-hard in general).
+// exhaustively with constraint-indexed pruning over slot arrays; the
+// per-component state space is capped, and a component that exceeds the
+// cap (or the caller's remaining step budget) is estimated by uniform
+// Monte Carlo repair sampling instead — the counter is exact where the
+// space fits and an anytime estimator with a confidence interval beyond
+// it (the problem is #P-hard in general). Exact-only callers set
+// Options.Exact and get ErrComponentTooLarge instead of an estimate.
 package counting
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"math/big"
+	"math/rand"
 
 	"cqa/internal/db"
+	"cqa/internal/evalctx"
+	"cqa/internal/faultinject"
 	"cqa/internal/match"
 	"cqa/internal/query"
+	"cqa/internal/trace"
 )
 
-// Limit caps the number of assignments enumerated per component.
-const Limit = 1 << 22
+// DefaultComponentLimit caps the assignments enumerated exactly per
+// component when Options.ComponentLimit is unset.
+const DefaultComponentLimit = 1 << 22
 
-// Result reports the exact counts.
+// DefaultSamples is the Monte Carlo sample count drawn per oversized
+// component when Options.Samples is unset. 4096 samples put the 95%
+// half-width at ~1.5 points for a central fraction and 3/4096 ≈ 0.07%
+// under the rule of three at the extremes.
+const DefaultSamples = 4096
+
+// ErrComponentTooLarge reports a constraint component whose exact
+// assignment space exceeds the enumeration bound while Options.Exact
+// forbids estimation.
+var ErrComponentTooLarge = errors.New("counting: component assignment space exceeds the exact enumeration bound")
+
+// Options tunes one Count call.
+type Options struct {
+	// ComponentLimit caps the assignments enumerated exactly within one
+	// constraint component; a component whose space exceeds it (or the
+	// checker's remaining step budget) is estimated instead. <= 0 selects
+	// DefaultComponentLimit.
+	ComponentLimit int64
+	// Samples is the Monte Carlo sample count per estimated component.
+	// <= 0 selects DefaultSamples.
+	Samples int
+	// Exact turns an oversized component into an ErrComponentTooLarge
+	// error instead of a sampled estimate.
+	Exact bool
+	// Seed perturbs the deterministic sampling RNG. 0 selects 1, so the
+	// default is reproducible run to run.
+	Seed int64
+}
+
+// Result reports the counts. Total is always exact; Satisfying is exact
+// (and non-nil) iff Exact is set, otherwise Fraction carries the anytime
+// estimate with Confidence as its 95% half-width.
 type Result struct {
-	Satisfying *big.Int // repairs where q holds
-	Total      *big.Int // all repairs
+	Satisfying *big.Int // repairs where q holds; nil when !Exact
+	Total      *big.Int // all repairs (always exact)
 	Components int      // independent constraint components
+	Sampled    int      // components estimated by Monte Carlo sampling
+	Fraction   float64  // Satisfying/Total, exact ratio or estimate midpoint
+	Confidence float64  // 95% confidence half-width on Fraction; 0 when Exact
+	Exact      bool     // every component enumerated exactly
 }
 
-// Fraction returns Satisfying/Total as a float (1 when there are no
-// repairs to pick, i.e. Total = 1 and the empty repair satisfies q).
-func (r Result) Fraction() float64 {
-	if r.Total.Sign() == 0 {
-		return 0
-	}
-	f := new(big.Float).Quo(new(big.Float).SetInt(r.Satisfying), new(big.Float).SetInt(r.Total))
-	out, _ := f.Float64()
-	return out
-}
-
-// SatisfyingRepairs counts the repairs of d satisfying q.
+// SatisfyingRepairs counts the repairs of d satisfying q exactly,
+// refusing oversized components — the historical entry point, with no
+// budget and no estimation. Engine callers use Count.
 func SatisfyingRepairs(q query.Query, d *db.DB) (Result, error) {
+	return Count(q, match.NewIndex(d), nil, Options{Exact: true})
+}
+
+// ref addresses one fact as (block ordinal, slot in block) over the
+// dense ordinals assigned to constrained blocks.
+type ref struct{ b, s int32 }
+
+// Count counts the repairs of ix.DB satisfying q under the checker's
+// cancellation and step budget. It polls chk per enumerated embedding
+// candidate, per exact assignment slot, and per Monte Carlo sample; a
+// nil checker enforces nothing.
+func Count(q query.Query, ix *match.Index, chk *evalctx.Checker, opts Options) (Result, error) {
+	d := ix.DB
+	tr := chk.Tracer()
+	sp := tr.Begin(trace.StageCount)
+	defer sp.End()
+	if err := chk.Check(); err != nil {
+		return Result{}, err
+	}
+	limit := opts.ComponentLimit
+	if limit <= 0 {
+		limit = DefaultComponentLimit
+	}
+	samples := opts.Samples
+	if samples <= 0 {
+		samples = DefaultSamples
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
 	total := big.NewInt(1)
 	for _, b := range d.Blocks() {
 		total.Mul(total, big.NewInt(int64(len(b.Facts))))
 	}
-	res := Result{Total: total}
+	res := Result{Total: total, Exact: true}
 	if q.Empty() {
 		res.Satisfying = new(big.Int).Set(total)
+		res.Fraction = 1
 		return res, nil
 	}
 
-	// Work on the restriction to q's relations; foreign blocks multiply
-	// both counts equally and cancel in the falsifier factorization.
-	pd := d.Filter(func(f db.Fact) bool { return q.HasRel(f.Rel.Name) })
-	matches := match.AllMatches(q, pd)
-	if len(matches) == 0 {
-		res.Satisfying = big.NewInt(0)
-		return res, nil
-	}
-
-	// Index facts and blocks.
-	factIdx := map[string]int{}
-	var facts []db.Fact
-	for _, f := range pd.Facts() {
-		factIdx[f.ID()] = len(facts)
-		facts = append(facts, f)
-	}
-	blockIdx := map[string]int{}
-	var blocks [][]int
-	blockOf := make([]int, len(facts))
-	for i, f := range facts {
-		bid := f.BlockID()
-		b, ok := blockIdx[bid]
-		if !ok {
-			b = len(blocks)
-			blockIdx[bid] = b
-			blocks = append(blocks, nil)
-		}
-		blocks[b] = append(blocks[b], i)
-		blockOf[i] = b
-	}
-	var constraints [][]int
-	for _, v := range matches {
+	// Enumerate the consistent ground embeddings of q: each one is a
+	// constraint — a set of (block, slot) refs whose joint survival in a
+	// repair satisfies q. Blocks are given dense ordinals on first touch,
+	// so only constrained blocks enter the component machinery; all other
+	// blocks contribute equal factors to both counts.
+	blockOrd := map[string]int32{}
+	var blockFacts [][]db.Fact
+	var constraints [][]ref
+	bad := false
+	ix.MatchChecked(q, query.Valuation{}, chk, func(v query.Valuation) bool {
 		ground, err := db.GroundQuery(q, v)
-		if err != nil {
-			continue
+		if err != nil || !db.ConsistentSet(ground) {
+			// A grounding that collides inside one block can never
+			// survive a repair whole; it constrains nothing.
+			return true
 		}
-		if !db.ConsistentSet(ground) {
-			continue
-		}
-		seen := map[int]bool{}
-		var c []int
+		c := make([]ref, 0, len(ground))
 		for _, f := range ground {
-			fi := factIdx[f.ID()]
-			if !seen[fi] {
-				seen[fi] = true
-				c = append(c, fi)
+			blk := d.BlockOf(f)
+			bo, ok := blockOrd[blk.ID]
+			if !ok {
+				bo = int32(len(blockFacts))
+				blockOrd[blk.ID] = bo
+				blockFacts = append(blockFacts, blk.Facts)
 			}
+			slot := int32(-1)
+			for s, g := range blockFacts[bo] {
+				if g.Equal(f) {
+					slot = int32(s)
+					break
+				}
+			}
+			if slot < 0 {
+				bad = true
+				return false
+			}
+			c = append(c, ref{b: bo, s: slot})
 		}
 		constraints = append(constraints, c)
+		return true
+	})
+	if err := chk.Err(); err != nil {
+		return Result{}, err
 	}
+	if bad {
+		return Result{}, errors.New("counting: matched fact missing from its block")
+	}
+	tr.Add(trace.StageCount, trace.CtrMatches, int64(len(constraints)))
 
 	// Union blocks sharing a constraint into components.
-	parent := make([]int, len(blocks))
+	parent := make([]int32, len(blockFacts))
 	for i := range parent {
-		parent[i] = i
+		parent[i] = int32(i)
 	}
-	var find func(int) int
-	find = func(x int) int {
+	var find func(int32) int32
+	find = func(x int32) int32 {
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]
 		}
 		return x
 	}
-	union := func(a, b int) { parent[find(a)] = find(b) }
 	for _, c := range constraints {
-		for k := 1; k < len(c); k++ {
-			union(blockOf[c[0]], blockOf[c[k]])
+		r0 := find(c[0].b)
+		for _, fr := range c[1:] {
+			parent[find(fr.b)] = r0
+			r0 = find(r0)
 		}
 	}
-	compBlocks := map[int][]int{}
-	constrained := make([]bool, len(blocks))
-	for _, c := range constraints {
-		for _, fi := range c {
-			constrained[blockOf[fi]] = true
+	compOf := make([]int32, len(blockFacts))
+	var compBlocks [][]int32
+	for b := range blockFacts {
+		root := find(int32(b))
+		if int(root) == b {
+			compOf[b] = int32(len(compBlocks))
+			compBlocks = append(compBlocks, nil)
 		}
 	}
-	for b := range blocks {
-		if constrained[b] {
-			root := find(b)
-			compBlocks[root] = append(compBlocks[root], b)
-		}
+	for b := range blockFacts {
+		ci := compOf[find(int32(b))]
+		compOf[b] = ci
+		compBlocks[ci] = append(compBlocks[ci], int32(b))
 	}
-	compConstraints := map[int][][]int{}
+	compCons := make([][][]ref, len(compBlocks))
 	for _, c := range constraints {
-		root := find(blockOf[c[0]])
-		compConstraints[root] = append(compConstraints[root], c)
+		ci := compOf[c[0].b]
+		compCons[ci] = append(compCons[ci], c)
 	}
 
-	// Falsifying assignments factorize over components; unconstrained
-	// blocks (inside or outside q's relations) contribute full factors
-	// to both counts.
+	// Falsifying assignments factorize over components. Exact components
+	// contribute a point falsifying ratio; sampled ones an interval, and
+	// the product of intervals bounds the overall falsifying fraction.
 	falsifying := big.NewInt(1)
-	for root, bs := range compBlocks {
-		cnt, err := countComponent(bs, blocks, blockOf, compConstraints[root])
+	fracLo, fracHi := 1.0, 1.0
+	rng := rand.New(rand.NewSource(seed))
+	var totalSamples int64
+	for ci := range compBlocks {
+		if err := faultinject.Fire("counting.component"); err != nil {
+			return Result{}, fmt.Errorf("counting: component %d: %w", ci, err)
+		}
+		if err := chk.Check(); err != nil {
+			return Result{}, err
+		}
+		comp := localizeComponent(compBlocks[ci], blockFacts, compCons[ci])
+		res.Components++
+		if comp.alwaysSat {
+			// Some constraint is fully forced (every block it touches
+			// has one fact): all assignments of this component satisfy
+			// q, exactly, regardless of the component's size.
+			fracLo, fracHi = 0, 0
+			falsifying.SetInt64(0)
+			continue
+		}
+		space, fits := componentSpace(comp.sizes, limit)
+		if fits {
+			if rem, ok := chk.Remaining(); ok && space > rem {
+				fits = false
+			}
+		}
+		if fits {
+			fals, err := countComponentExact(comp, chk)
+			if err != nil {
+				return Result{}, err
+			}
+			tr.Add(trace.StageCount, trace.CtrSteps, space)
+			falsifying.Mul(falsifying, big.NewInt(fals))
+			r := float64(fals) / float64(space)
+			fracLo *= r
+			fracHi *= r
+			continue
+		}
+		if opts.Exact {
+			return Result{}, fmt.Errorf("%w (component %d, %d blocks over limit %d)",
+				ErrComponentTooLarge, ci, len(comp.sizes), limit)
+		}
+		lo, hi, err := sampleComponent(comp, samples, rng, chk)
 		if err != nil {
 			return Result{}, err
 		}
-		falsifying.Mul(falsifying, big.NewInt(cnt))
-		res.Components++
+		totalSamples += int64(samples)
+		res.Sampled++
+		res.Exact = false
+		fracLo *= lo
+		fracHi *= hi
 	}
-	// Scale by the unconstrained blocks of the FULL database.
-	for _, b := range d.Blocks() {
-		bi, ok := blockIdx[b.ID]
-		if ok && constrained[bi] {
-			continue
+	tr.Add(trace.StageCount, trace.CtrComponents, int64(res.Components))
+	tr.Add(trace.StageCount, trace.CtrSamples, totalSamples)
+
+	// An exactly-counted component with zero falsifying assignments zeroes
+	// the falsifying product outright, so the overall count is exact even
+	// when other components had to be sampled: every repair satisfies q.
+	// (Sampled still records the estimation effort that turned out moot.)
+	if !res.Exact && falsifying.Sign() == 0 {
+		res.Exact = true
+	}
+	if res.Exact {
+		// Unconstrained blocks scale the falsifying count to the full
+		// database; they multiply Total identically, so the fraction is
+		// untouched.
+		for _, b := range d.Blocks() {
+			if _, ok := blockOrd[b.ID]; ok {
+				continue
+			}
+			falsifying.Mul(falsifying, big.NewInt(int64(len(b.Facts))))
 		}
-		falsifying.Mul(falsifying, big.NewInt(int64(len(b.Facts))))
+		res.Satisfying = new(big.Int).Sub(total, falsifying)
+		res.Fraction = exactFraction(res.Satisfying, total)
+		return res, nil
 	}
-	res.Satisfying = new(big.Int).Sub(total, falsifying)
+	res.Fraction = 1 - (fracLo+fracHi)/2
+	res.Confidence = (fracHi - fracLo) / 2
 	return res, nil
 }
 
-// countComponent counts the assignments of the component's blocks under
-// which every constraint loses at least one fact.
-func countComponent(bs []int, blocks [][]int, blockOf []int, constraints [][]int) (int64, error) {
-	space := int64(1)
+// component is one constraint component in local form: free blocks (two
+// or more facts) indexed densely, forced single-fact blocks dropped, and
+// each constraint reduced to refs into the free blocks and attached at
+// the deepest free block it mentions for subtree pruning.
+type component struct {
+	sizes     []int       // fact count per free block
+	facts     [][]db.Fact // facts per free block (sampling)
+	byDepth   [][][]ref   // constraints attached at their deepest free block
+	cons      [][]ref     // all localized constraints (sampling)
+	alwaysSat bool        // a constraint became empty: fully forced
+}
+
+// localizeComponent remaps a component's constraints from global block
+// ordinals to dense free-block indices. Facts in single-fact blocks are
+// always chosen in every repair, so their refs vanish; a constraint with
+// no refs left is satisfied by every assignment.
+func localizeComponent(bs []int32, blockFacts [][]db.Fact, cons [][]ref) *component {
+	comp := &component{}
+	local := map[int32]int32{}
 	for _, b := range bs {
-		space *= int64(len(blocks[b]))
-		if space > Limit {
-			return 0, fmt.Errorf("counting: component with %d+ assignments exceeds the bound %d", space, Limit)
+		if len(blockFacts[b]) < 2 {
+			continue
 		}
+		local[b] = int32(len(comp.sizes))
+		comp.sizes = append(comp.sizes, len(blockFacts[b]))
+		comp.facts = append(comp.facts, blockFacts[b])
 	}
-	chosen := map[int]bool{}
+	comp.byDepth = make([][][]ref, len(comp.sizes))
+	for _, c := range cons {
+		lc := make([]ref, 0, len(c))
+		depth := int32(-1)
+		for _, fr := range c {
+			lb, ok := local[fr.b]
+			if !ok {
+				continue // forced block: the ref always holds
+			}
+			lc = append(lc, ref{b: lb, s: fr.s})
+			if lb > depth {
+				depth = lb
+			}
+		}
+		if len(lc) == 0 {
+			comp.alwaysSat = true
+			return comp
+		}
+		comp.cons = append(comp.cons, lc)
+		comp.byDepth[depth] = append(comp.byDepth[depth], lc)
+	}
+	return comp
+}
+
+// componentSpace computes the product of the block sizes without ever
+// overflowing: the pre-multiplication guard space > limit/n rejects any
+// product that would exceed limit, so the running value stays <= limit
+// and cannot wrap int64 (the historical post-multiplication check could,
+// with a pathological block and a caller-raised limit).
+func componentSpace(sizes []int, limit int64) (int64, bool) {
+	space := int64(1)
+	for _, n := range sizes {
+		nn := int64(n)
+		if nn <= 0 {
+			return 0, false
+		}
+		if space > limit/nn {
+			return 0, false
+		}
+		space *= nn
+	}
+	return space, true
+}
+
+// countComponentExact counts the falsifying assignments — one fact per
+// free block such that no constraint keeps all its facts — over slot
+// arrays. Constraints prune at the deepest block they mention: once one
+// is fully chosen the whole subtree satisfies q and contributes nothing.
+func countComponentExact(comp *component, chk *evalctx.Checker) (int64, error) {
+	sel := make([]int32, len(comp.sizes))
 	var count int64
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(bs) {
-			for _, c := range constraints {
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(comp.sizes) {
+			count++
+			return nil
+		}
+		for s := 0; s < comp.sizes[i]; s++ {
+			if err := chk.Step(); err != nil {
+				return err
+			}
+			sel[i] = int32(s)
+			satisfied := false
+			for _, c := range comp.byDepth[i] {
 				all := true
-				for _, fi := range c {
-					if !chosen[fi] {
+				for _, fr := range c {
+					if sel[fr.b] != fr.s {
 						all = false
 						break
 					}
 				}
 				if all {
-					return // this assignment satisfies q via c
+					satisfied = true
+					break
 				}
 			}
-			count++
-			return
+			if satisfied {
+				continue
+			}
+			if err := rec(i + 1); err != nil {
+				return err
+			}
 		}
-		for _, fi := range blocks[bs[i]] {
-			chosen[fi] = true
-			rec(i + 1)
-			delete(chosen, fi)
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+// sampleComponent draws n uniform assignments of the component's free
+// blocks — each is a uniform repair restricted to the component — and
+// returns a 95% confidence interval [lo, hi] on its falsifying fraction:
+// a normal approximation in the interior, the rule of three at the
+// boundary outcomes where the variance estimate degenerates.
+func sampleComponent(comp *component, n int, rng *rand.Rand, chk *evalctx.Checker) (lo, hi float64, err error) {
+	sel := make([]int32, len(comp.sizes))
+	fals := 0
+	for k := 0; k < n; k++ {
+		if err := chk.Step(); err != nil {
+			return 0, 0, err
+		}
+		for i, sz := range comp.sizes {
+			sel[i] = int32(rng.Intn(sz))
+		}
+		satisfied := false
+		for _, c := range comp.cons {
+			all := true
+			for _, fr := range c {
+				if sel[fr.b] != fr.s {
+					all = false
+					break
+				}
+			}
+			if all {
+				satisfied = true
+				break
+			}
+		}
+		if !satisfied {
+			fals++
 		}
 	}
-	rec(0)
-	return count, nil
+	r := float64(fals) / float64(n)
+	var hw float64
+	if fals == 0 || fals == n {
+		hw = 3 / float64(n)
+	} else {
+		hw = 1.96 * math.Sqrt(r*(1-r)/float64(n))
+	}
+	lo = math.Max(0, r-hw)
+	hi = math.Min(1, r+hw)
+	return lo, hi, nil
+}
+
+// exactFraction returns sat/total as a float64 (0 on an empty space,
+// which cannot arise from block products but keeps the ratio total).
+func exactFraction(sat, total *big.Int) float64 {
+	if total.Sign() == 0 {
+		return 0
+	}
+	f := new(big.Float).Quo(new(big.Float).SetInt(sat), new(big.Float).SetInt(total))
+	out, _ := f.Float64()
+	return out
 }

@@ -1,13 +1,14 @@
 package counting
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 	"math/rand"
 	"testing"
 
-	"cqa/internal/core"
 	"cqa/internal/db"
+	"cqa/internal/match"
 	"cqa/internal/naive"
 	"cqa/internal/query"
 	"cqa/internal/workload"
@@ -34,8 +35,11 @@ func TestCountBasic(t *testing.T) {
 	if res.Satisfying.Cmp(big.NewInt(2)) != 0 {
 		t.Errorf("satisfying = %v", res.Satisfying)
 	}
-	if res.Fraction() != 1 {
-		t.Errorf("fraction = %v", res.Fraction())
+	if res.Fraction != 1 {
+		t.Errorf("fraction = %v", res.Fraction)
+	}
+	if !res.Exact || res.Confidence != 0 {
+		t.Errorf("exact count reported exact=%v confidence=%v", res.Exact, res.Confidence)
 	}
 }
 
@@ -107,33 +111,6 @@ func TestCountFactorization(t *testing.T) {
 	}
 }
 
-// TestCountConsistentWithDecision: sat == total iff certain; sat > 0 iff
-// possible.
-func TestCountConsistentWithDecision(t *testing.T) {
-	rng := rand.New(rand.NewSource(607))
-	for trial := 0; trial < 200; trial++ {
-		p := workload.DefaultQueryParams()
-		p.Atoms = 1 + rng.Intn(3)
-		q := workload.RandomQuery(rng, p)
-		d := workload.RandomDB(rng, q, workload.DefaultDBParams())
-		res, err := SatisfyingRepairs(q, d)
-		if err != nil {
-			continue
-		}
-		certain, errC := core.Certain(q, d, core.Options{Engine: core.EngineCoNP})
-		if errC != nil {
-			t.Fatal(errC)
-		}
-		if certain.Certain != (res.Satisfying.Cmp(res.Total) == 0) {
-			t.Fatalf("certain=%v but sat=%v/%v\nq=%s\ndb:\n%s",
-				certain.Certain, res.Satisfying, res.Total, q, d)
-		}
-		if core.Possible(q, d) != (res.Satisfying.Sign() > 0) {
-			t.Fatalf("possible mismatch: sat=%v\nq=%s\ndb:\n%s", res.Satisfying, q, d)
-		}
-	}
-}
-
 func TestCountRefusesHugeComponent(t *testing.T) {
 	q := query.MustParse("R(x | y), S(u | y)")
 	d := db.New()
@@ -148,8 +125,23 @@ func TestCountRefusesHugeComponent(t *testing.T) {
 				query.Const(fmt.Sprintf("u%d", i)), query.Const(fmt.Sprintf("y%d", v))}})
 		}
 	}
-	if _, err := SatisfyingRepairs(q, d); err == nil {
-		t.Error("a 3^80 component should exceed the bound")
+	if _, err := SatisfyingRepairs(q, d); !errors.Is(err, ErrComponentTooLarge) {
+		t.Errorf("a 3^80 component should exceed the exact bound, got %v", err)
+	}
+	// The same instance under the anytime contract: never a refusal.
+	res, err := Count(q, match.NewIndex(d), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact || res.Sampled != 1 || res.Satisfying != nil {
+		t.Errorf("oversized component: exact=%v sampled=%d sat=%v", res.Exact, res.Sampled, res.Satisfying)
+	}
+	want := new(big.Int).Exp(big.NewInt(3), big.NewInt(80), nil)
+	if res.Total.Cmp(want) != 0 {
+		t.Errorf("total = %v, want 3^80", res.Total)
+	}
+	if res.Fraction < 0 || res.Fraction > 1 || res.Confidence <= 0 {
+		t.Errorf("estimate fraction=%v confidence=%v", res.Fraction, res.Confidence)
 	}
 }
 

@@ -1,0 +1,63 @@
+package difftest
+
+import (
+	"testing"
+
+	"cqa/internal/attack"
+)
+
+// TestCountingDifferential is the seeded corpus for the repair-counting
+// engine: at least 500 verified cases where the exact count agrees with
+// the brute-force oracle and with the decision engines, across the same
+// generator families (and hence all three complexity classes) as the
+// decision corpus. This is the `make check` entry point for #CERTAINTY.
+func TestCountingDifferential(t *testing.T) {
+	const wantChecked = 520
+	checked, skipped := 0, 0
+	byClass := map[attack.Class]int{}
+	for seed := int64(0); checked < wantChecked && seed < 5000; seed++ {
+		shape := byte(seed % NumShapes)
+		q, d := Generate(seed, shape)
+		sk, err := CheckCounting(q, d)
+		if err != nil {
+			t.Fatalf("seed %d shape %d: %v", seed, shape, err)
+		}
+		if sk {
+			skipped++
+			continue
+		}
+		checked++
+		cls, _, cerr := attack.Classify(q)
+		if cerr != nil {
+			t.Fatalf("seed %d: classify: %v", seed, cerr)
+		}
+		byClass[cls]++
+	}
+	if checked < 500 {
+		t.Fatalf("verified only %d counting cases (%d skipped over the oracle bound); want >= 500", checked, skipped)
+	}
+	for _, cls := range []attack.Class{attack.FO, attack.PTime, attack.CoNPComplete} {
+		if byClass[cls] == 0 {
+			t.Errorf("no verified counting case of class %s — the corpus no longer covers the trichotomy", cls)
+		}
+	}
+	t.Logf("verified %d counting cases (%d skipped): FO=%d P=%d coNP=%d",
+		checked, skipped, byClass[attack.FO], byClass[attack.PTime], byClass[attack.CoNPComplete])
+}
+
+// FuzzCounting is the native fuzz target for the counting engine. Like
+// FuzzDifferential, the raw (seed, shape) pair expands through the
+// deterministic generator, so every mutated input is a valid instance and
+// the only failures are genuine count/oracle disagreements, counting/
+// decision inconsistencies, or panics.
+func FuzzCounting(f *testing.F) {
+	for i := int64(0); i < 4*NumShapes; i++ {
+		f.Add(i*31, byte(i%NumShapes))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, shape byte) {
+		q, d := Generate(seed, shape)
+		if _, err := CheckCounting(q, d); err != nil {
+			t.Fatalf("seed %d shape %d: %v", seed, shape%NumShapes, err)
+		}
+	})
+}

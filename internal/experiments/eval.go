@@ -74,8 +74,23 @@ const (
 		"disables hedging, so every stalled delivery lands in some request's critical path; hedged " +
 		"re-issues a stalled shard call against the next replica after the 2ms hedge threshold, and " +
 		"p99_ns must collapse from the stall to the hedge delay. Hand-sampled percentiles: the tail, " +
-		"not the mean, is the serving-relevant number for a scatter that cannot early-exit."
+		"not the mean, is the serving-relevant number for a scatter that cannot early-exit. " +
+		"count-exact/count-approx: the repair-counting engine (#CERTAINTY) at the same sweep sizes — " +
+		"count-exact is one exact satisfying-repair count per op on the warm falsified chain (many " +
+		"tiny constraint components, all enumerated); count-approx is one anytime count per op on a " +
+		"hub instance whose single component has assignment space 2^blocks, so the counter degrades " +
+		"to the seeded Monte Carlo estimator and the row measures the sampling path's latency."
 )
+
+// evalCountSizes returns the block-count sweep of the repair-counting
+// rows (count-exact on the falsified chain, count-approx on the hub
+// gadget whose single component is past the exact bound).
+func evalCountSizes(quick bool) []int {
+	if quick {
+		return []int{1000}
+	}
+	return []int{1000, 10000}
+}
 
 // evalMutationBlocks is the instance size of the mutation rows: the
 // acceptance scale is 100k blocks (quick shrinks it with the rest of
@@ -171,6 +186,24 @@ func evalFalsifiedChainDB(q query.Query, blocks int) *db.DB {
 		d.Add(db.Fact{Rel: q.Atoms[0].Rel, Args: []query.Const{x, yBad}})
 		d.Add(db.Fact{Rel: q.Atoms[1].Rel, Args: []query.Const{y, "z"}})
 	}
+	return d
+}
+
+// evalHubDB is the oversized-component counting instance: blocks-1
+// R-blocks that each choose between a shared hub y-value and a dead end,
+// plus one two-fact S-block on the hub. Every matching R-fact joins the
+// same S-block, so the whole instance is ONE constraint component with
+// assignment space 2^blocks — far past the exact enumeration bound at
+// the sweep sizes — while the match count stays linear in blocks.
+func evalHubDB(q query.Query, blocks int) *db.DB {
+	d := db.New()
+	for i := 0; i < blocks-1; i++ {
+		x := query.Const(fmt.Sprintf("x%d", i))
+		d.Add(db.Fact{Rel: q.Atoms[0].Rel, Args: []query.Const{x, "hub"}})
+		d.Add(db.Fact{Rel: q.Atoms[0].Rel, Args: []query.Const{x, query.Const(fmt.Sprintf("dead%d", i))}})
+	}
+	d.Add(db.Fact{Rel: q.Atoms[1].Rel, Args: []query.Const{"hub", "z0"}})
+	d.Add(db.Fact{Rel: q.Atoms[1].Rel, Args: []query.Const{"hub", "z1"}})
 	return d
 }
 
@@ -313,6 +346,9 @@ func RunEval(quick bool) (*EvalReport, error) {
 	})
 	record("answers-flat", sd.NumBlocks(), "warm", 0, 0, flat)
 	if err := runMutationEval(q, plan, quick, rep); err != nil {
+		return nil, err
+	}
+	if err := runCountEval(q, plan, quick, rep); err != nil {
 		return nil, err
 	}
 
@@ -511,6 +547,67 @@ func runMutationEval(q query.Query, plan *core.Plan, quick bool, rep *EvalReport
 	return nil
 }
 
+// runCountEval measures the repair-counting engine (#CERTAINTY) at the
+// eval sweep sizes. count-exact is one exact count per op on the warm
+// falsified chain instance — many tiny constraint components, every one
+// enumerated, so the row tracks the factorized counting throughput of
+// the serving path. count-approx is one anytime count per op on the hub
+// instance of the same block count, whose single component has
+// assignment space 2^blocks: the exact enumerator must degrade to the
+// seeded Monte Carlo estimator, so the row is the sampling path's
+// latency at the same instance scale.
+func runCountEval(q query.Query, plan *core.Plan, quick bool, rep *EvalReport) error {
+	for _, blocks := range evalCountSizes(quick) {
+		d := evalFalsifiedChainDB(q, blocks)
+		ix := match.NewIndex(d)
+		res, err := plan.CountIndexed(ix, core.Options{})
+		if err != nil {
+			return err
+		}
+		if !res.Exact || res.Satisfying == nil {
+			return fmt.Errorf("experiments: count-exact instance (%d blocks) not counted exactly", blocks)
+		}
+		exact := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.CountIndexed(ix, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Results = append(rep.Results, EvalResult{
+			Name: "count-exact", Blocks: blocks, Index: "warm",
+			NsPerOp: float64(exact.NsPerOp()), AllocsPerOp: exact.AllocsPerOp(),
+			BytesPerOp: exact.AllocedBytesPerOp(), Iterations: exact.N,
+		})
+
+		hd := evalHubDB(q, blocks)
+		hix := match.NewIndex(hd)
+		hres, err := plan.CountIndexed(hix, core.Options{Approximate: true})
+		if err != nil {
+			return err
+		}
+		if hres.Exact || hres.Sampled != 1 {
+			return fmt.Errorf("experiments: count-approx instance (%d blocks) did not degrade to sampling (exact=%v sampled=%d)",
+				blocks, hres.Exact, hres.Sampled)
+		}
+		approx := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.CountIndexed(hix, core.Options{Approximate: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Results = append(rep.Results, EvalResult{
+			Name: "count-approx", Blocks: blocks, Index: "warm",
+			NsPerOp: float64(approx.NsPerOp()), AllocsPerOp: approx.AllocsPerOp(),
+			BytesPerOp: approx.AllocedBytesPerOp(), Iterations: approx.N,
+		})
+	}
+	return nil
+}
+
 // samplePercentiles times n runs of fn and returns the p50 and p99
 // per-run latencies in nanoseconds.
 func samplePercentiles(n int, fn func() error) (p50, p99 float64) {
@@ -583,6 +680,10 @@ func ValidateEvalJSON(path string, quick bool) error {
 	clusterBlocks := evalClusterBlocks(quick)
 	missing[fmt.Sprintf("cluster-unhedged/%d/warm", clusterBlocks)] = true
 	missing[fmt.Sprintf("cluster-hedged/%d/warm", clusterBlocks)] = true
+	for _, blocks := range evalCountSizes(quick) {
+		missing[fmt.Sprintf("count-exact/%d/warm", blocks)] = true
+		missing[fmt.Sprintf("count-approx/%d/warm", blocks)] = true
+	}
 	var applyNs, rebuildNs float64
 	var unhedgedP99, hedgedP99 float64
 	answersSeq, answersPool := false, false
@@ -632,6 +733,8 @@ func ValidateEvalJSON(path string, quick bool) error {
 				return fmt.Errorf("%s: results[%d] mutate-read/%d reports %d allocs/op; reads on an Apply-derived version must stay on the interned path (regenerate with -evaljson)",
 					path, i, res.Blocks, res.AllocsPerOp)
 			}
+		case "count-exact", "count-approx":
+			delete(missing, fmt.Sprintf("%s/%d/%s", res.Name, res.Blocks, res.Index))
 		case "cluster-unhedged", "cluster-hedged":
 			delete(missing, fmt.Sprintf("%s/%d/%s", res.Name, res.Blocks, res.Index))
 			// The cluster rows are percentile measurements; a row without

@@ -62,8 +62,8 @@ func TestUnknownExperiment(t *testing.T) {
 
 func TestIDsAndDescribe(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 {
-		t.Fatalf("have %d experiments, want 18: %v", len(ids), ids)
+	if len(ids) != 19 {
+		t.Fatalf("have %d experiments, want 19: %v", len(ids), ids)
 	}
 	for _, id := range ids {
 		if Describe(id) == "" {

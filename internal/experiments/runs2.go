@@ -49,7 +49,7 @@ func runE13(r *Runner) error {
 		if err != nil {
 			return err
 		}
-		exact := res.Fraction()
+		exact := res.Fraction
 		est, err := core.CertainFraction(q, d, 2000, rng)
 		if err != nil {
 			return err
@@ -162,7 +162,7 @@ func runE15(r *Runner) error {
 			// Exact counts are only available while the constraint
 			// components stay enumerable; average over those trials.
 			if cnt, err := counting.SatisfyingRepairs(q, d); err == nil {
-				fracSum += cnt.Fraction()
+				fracSum += cnt.Fraction
 				counted++
 			}
 		}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// hubFacts builds the hub gadget for q = R(x | y), S(y | z): n R-blocks
+// that each choose between the shared hub value and a dead end, plus one
+// 2-fact S-block on the hub. One constraint component with assignment
+// space 2^(n+1), so n >= 22 pushes past the exact enumeration bound
+// while the match count stays linear.
+func hubFacts(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "R(x%d | hub)\nR(x%d | dead%d)\n", i, i, i)
+	}
+	b.WriteString("S(hub | z0)\nS(hub | z1)\n")
+	return b.String()
+}
+
+func TestCountExactInline(t *testing.T) {
+	h := newTestServer().Handler()
+	var resp countResponse
+	rec := do(t, h, "POST", "/v1/count",
+		`{"query": "R(x | y), S(y | z)", "facts": "R(a | b)\nR(a | c)\nS(b | d)\n"}`, &resp)
+	if rec.Code != 200 {
+		t.Fatalf("count: %d %s", rec.Code, rec.Body.String())
+	}
+	// Two repairs: {R(a|b), S(b|d)} satisfies, {R(a|c), S(b|d)} does not.
+	if !resp.Exact || resp.Satisfying != "1" || resp.Total != "2" || resp.Fraction != 0.5 {
+		t.Errorf("exact count: %+v", resp)
+	}
+	if resp.Confidence != nil || resp.Sampled != 0 {
+		t.Errorf("exact count carries estimate fields: %+v", resp)
+	}
+	if got := rec.Header().Get("X-CQA-Degraded"); got != "" {
+		t.Errorf("exact count marked degraded %q", got)
+	}
+}
+
+func TestCountDegradesOnOversizedComponent(t *testing.T) {
+	h := newTestServer().Handler()
+	body := fmt.Sprintf(`{"query": "R(x | y), S(y | z)", "facts": %q}`, hubFacts(64))
+	var resp countResponse
+	rec := do(t, h, "POST", "/v1/count", body, &resp)
+	if rec.Code != 200 {
+		t.Fatalf("oversized component must degrade, not fail: %d %s", rec.Code, rec.Body.String())
+	}
+	if resp.Exact || resp.Satisfying != "" || resp.Confidence == nil || resp.Sampled != 1 {
+		t.Errorf("degraded count: %+v", resp)
+	}
+	// All but 2 of the 2^65 assignments are satisfying.
+	if resp.Fraction < 0.99 || resp.Fraction > 1 {
+		t.Errorf("fraction = %v", resp.Fraction)
+	}
+	if got := rec.Header().Get("X-CQA-Degraded"); got != "count-sampling" {
+		t.Errorf("X-CQA-Degraded = %q", got)
+	}
+	// Explicitly refusing approximation turns the same instance into 422.
+	refuse := fmt.Sprintf(`{"query": "R(x | y), S(y | z)", "approximate": false, "facts": %q}`, hubFacts(64))
+	rec = do(t, h, "POST", "/v1/count", refuse, nil)
+	if rec.Code != 422 || !strings.Contains(rec.Body.String(), "component_too_large") {
+		t.Errorf("approximate=false on oversized: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestCountErrorsAndMetrics(t *testing.T) {
+	srv := newTestServer()
+	h := srv.Handler()
+	if rec := do(t, h, "POST", "/v1/count", `{"query": "R(x | y)", "db": "nope"}`, nil); rec.Code != 404 {
+		t.Errorf("unknown db: %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/v1/count", `{not json`, nil); rec.Code != 400 {
+		t.Errorf("malformed JSON: %d", rec.Code)
+	}
+	// One exact and one degraded call, then the counters must show both.
+	do(t, h, "POST", "/v1/count", `{"query": "R(x | '1')", "facts": "R(a | 1)\nR(a | 2)\n"}`, nil)
+	do(t, h, "POST", "/v1/count", fmt.Sprintf(`{"query": "R(x | y), S(y | z)", "facts": %q}`, hubFacts(64)), nil)
+	rec := do(t, h, "GET", "/metrics", "", nil)
+	for _, frag := range []string{
+		"cqa_count_exact_total 1",
+		"cqa_count_approx_total 1",
+		"cqa_count_duration_seconds_count 2",
+	} {
+		if !strings.Contains(rec.Body.String(), frag) {
+			t.Errorf("metrics missing %q", frag)
+		}
+	}
+}
+
+func TestCountTraceHeader(t *testing.T) {
+	h := newTestServer().Handler()
+	req := `{"query": "R(x | '1')", "facts": "R(a | 1)\nR(a | 2)\n"}`
+	rec := do(t, h, "POST", "/v1/count", req, nil)
+	if rec.Code != 200 || strings.Contains(rec.Body.String(), `"trace"`) {
+		t.Fatalf("untraced count: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp countResponse
+	rec = doTraced(t, h, "POST", "/v1/count", req, &resp)
+	if rec.Code != 200 || resp.Trace == nil {
+		t.Fatalf("traced count: %d %s", rec.Code, rec.Body.String())
+	}
+	found := false
+	for _, st := range resp.Trace.Stages {
+		if st.Stage == "count" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace lacks a count stage: %+v", resp.Trace.Stages)
+	}
+}

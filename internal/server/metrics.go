@@ -35,6 +35,14 @@ type metrics struct {
 	// mutations counts committed delta writes (POST /v1/db/{name}/facts
 	// requests that published or idempotently reached a version).
 	mutations atomic.Uint64
+	// countExact / countApprox split successful /v1/count requests by
+	// whether every component was enumerated exactly or at least one
+	// degraded to Monte Carlo sampling.
+	countExact  atomic.Uint64
+	countApprox atomic.Uint64
+	// countHist is the end-to-end latency histogram of successful
+	// /v1/count evaluations (exact and sampled alike).
+	countHist *trace.Histogram
 	// applyHist is the latency histogram of delta commits, covering
 	// parse + group commit + MVCC apply + publish.
 	applyHist *trace.Histogram
@@ -51,6 +59,7 @@ func newMetrics() *metrics {
 		requests:  make(map[string]*atomic.Uint64),
 		errors:    make(map[string]*atomic.Uint64),
 		applyHist: trace.NewHistogram(nil),
+		countHist: trace.NewHistogram(nil),
 		byClass: map[string]*trace.Histogram{
 			"fo":    trace.NewHistogram(nil),
 			"ptime": trace.NewHistogram(nil),
@@ -219,6 +228,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "cqa_indexcache_building %d\n", ixst.Building())
 	fmt.Fprintf(&b, "cqa_store_databases %d\n", s.store.Len())
 	fmt.Fprintf(&b, "cqa_db_mutations_total %d\n", s.metrics.mutations.Load())
+	fmt.Fprintf(&b, "cqa_count_exact_total %d\n", s.metrics.countExact.Load())
+	fmt.Fprintf(&b, "cqa_count_approx_total %d\n", s.metrics.countApprox.Load())
+	ch := s.metrics.countHist.Snapshot()
+	for i, bound := range ch.Bounds {
+		fmt.Fprintf(&b, "cqa_count_duration_seconds_bucket{le=%q} %d\n",
+			formatBound(bound), ch.Cumulative[i])
+	}
+	fmt.Fprintf(&b, "cqa_count_duration_seconds_bucket{le=\"+Inf\"} %d\n", ch.Inf)
+	fmt.Fprintf(&b, "cqa_count_duration_seconds_sum %g\n", ch.SumSeconds)
+	fmt.Fprintf(&b, "cqa_count_duration_seconds_count %d\n", ch.Count)
 	ah := s.metrics.applyHist.Snapshot()
 	for i, bound := range ah.Bounds {
 		fmt.Fprintf(&b, "cqa_db_apply_duration_seconds_bucket{le=%q} %d\n",

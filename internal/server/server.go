@@ -10,6 +10,7 @@
 //
 //	POST   /v1/classify   {"query": q}                       -> class + cache status
 //	POST   /v1/certain    {"query": q, "db": name|"facts": t} -> certain answer
+//	POST   /v1/count      {"query": q, "db": name|"facts": t} -> repair counts (#CERTAINTY)
 //	POST   /v1/answers    {"query": q, "free": [x...], ...}   -> certain answers
 //	POST   /v1/rewrite    {"query": q, "dialect": "logic|sql"} -> FO rewriting
 //	GET    /v1/catalog                                        -> literature catalog
@@ -35,6 +36,7 @@ import (
 	"cqa/internal/catalog"
 	"cqa/internal/cluster"
 	"cqa/internal/core"
+	"cqa/internal/counting"
 	"cqa/internal/db"
 	"cqa/internal/evalctx"
 	"cqa/internal/match"
@@ -245,6 +247,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/catalog", s.instrument("catalog", false, s.handleCatalog))
 	mux.Handle("POST /v1/classify", s.instrument("classify", true, s.handleClassify))
 	mux.Handle("POST /v1/certain", s.instrument("certain", true, s.handleCertain))
+	mux.Handle("POST /v1/count", s.instrument("count", true, s.handleCount))
 	mux.Handle("POST /v1/answers", s.instrument("answers", true, s.handleAnswers))
 	mux.Handle("POST /v1/rewrite", s.instrument("rewrite", true, s.handleRewrite))
 	mux.Handle("PUT /v1/db/{name}", s.instrument("db-put", false, s.handleDBPut))
@@ -320,6 +323,31 @@ type certainResponse struct {
 	// fraction.
 	Approximate bool     `json:"approximate,omitempty"`
 	Fraction    *float64 `json:"fraction,omitempty"`
+	// Trace is the per-stage breakdown; present only when the request
+	// carried an X-CQA-Trace header.
+	Trace *traceInfo `json:"trace,omitempty"`
+}
+
+// countResponse reports a #CERTAINTY repair count. Total is always the
+// exact repair count of the instance; Satisfying is present iff the
+// count is exact, otherwise Fraction is the anytime estimate and
+// Confidence its 95% half-width. The counts are strings: they are
+// big integers (a 1M-block instance has ~2^1M repairs) that JSON
+// numbers cannot carry.
+type countResponse struct {
+	Query      string  `json:"query"`
+	Satisfying string  `json:"satisfying,omitempty"` // exact count; absent when estimated
+	Total      string  `json:"total"`
+	Fraction   float64 `json:"fraction"`
+	// Confidence is the 95% confidence half-width of an estimated
+	// Fraction; present only on the degraded (sampled) path.
+	Confidence *float64 `json:"confidence,omitempty"`
+	Exact      bool     `json:"exact"`
+	Components int      `json:"components"`
+	Sampled    int      `json:"sampled,omitempty"` // components estimated by sampling
+	Class      string   `json:"class"`
+	Cached     bool     `json:"cached"`
+	DB         *dbRef   `json:"db,omitempty"`
 	// Trace is the per-stage breakdown; present only when the request
 	// carried an X-CQA-Trace header.
 	Trace *traceInfo `json:"trace,omitempty"`
@@ -438,6 +466,11 @@ func (s *Server) evalError(w http.ResponseWriter, err error) {
 	case errors.Is(err, evalctx.ErrBudgetExceeded):
 		httpErrorCode(w, http.StatusUnprocessableEntity, "budget_exhausted",
 			"evaluation step budget exhausted: %v", err)
+	case errors.Is(err, counting.ErrComponentTooLarge):
+		// Only reachable with approximate explicitly false: the default
+		// counting contract degrades oversized components to sampling.
+		httpErrorCode(w, http.StatusUnprocessableEntity, "component_too_large",
+			"exact repair count out of reach: %v", err)
 	default:
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 	}
@@ -746,6 +779,86 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-CQA-Degraded", "sampling")
 	}
 	w.Header().Set("X-CQA-Engine", res.Engine.String())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCount serves #CERTAINTY: the number of repairs satisfying the
+// query, exact while every constraint component fits the enumeration
+// bound and the step budget, an anytime confidence-interval estimate
+// beyond that (unless the request set approximate: false). Counting
+// always evaluates locally — the factorized counter is not sharded, and
+// a cluster-routing instance holds the replicated data anyway.
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	var req certainRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	var tr *trace.Tracer
+	if traceRequested(r) {
+		tr = trace.New()
+	}
+	// As in handleCertain: charge compile + resolve + engine.
+	start := time.Now()
+	plan, hit, ok := s.compileTraced(w, req.Query, tr)
+	if !ok {
+		return
+	}
+	opts, ok := s.evalOptions(w, req)
+	if !ok {
+		return
+	}
+	opts.Tracer = tr
+	ix, _, ref, ok := s.resolveDB(w, req, plan, tr)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.evalContext(r, req.TimeoutMs)
+	defer cancel()
+	res, err := plan.CountIndexedCtx(ctx, ix, opts)
+	elapsed := time.Since(start)
+	entry := slowEntry{
+		Time:     start.UTC().Format(time.RFC3339Nano),
+		Endpoint: "count",
+		Query:    plan.Query.String(),
+		Class:    classLabel(plan.Class),
+		Engine:   "count",
+		dur:      elapsed,
+	}
+	if ref != nil {
+		entry.DB = ref.Name
+	}
+	if tr != nil {
+		entry.Trace = tr.Breakdown()
+	}
+	if err != nil {
+		entry.Error = err.Error()
+		s.observeEval(entry)
+		s.evalError(w, err)
+		return
+	}
+	s.observeEval(entry)
+	s.metrics.countHist.Observe(elapsed)
+	resp := countResponse{
+		Query:      plan.Query.String(),
+		Total:      res.Total.String(),
+		Fraction:   res.Fraction,
+		Exact:      res.Exact,
+		Components: res.Components,
+		Sampled:    res.Sampled,
+		Class:      res.Class.String(),
+		Cached:     hit,
+		DB:         ref,
+		Trace:      traceJSON(tr, elapsed),
+	}
+	if res.Exact {
+		s.metrics.countExact.Add(1)
+		resp.Satisfying = res.Satisfying.String()
+	} else {
+		s.metrics.countApprox.Add(1)
+		conf := res.Confidence
+		resp.Confidence = &conf
+		w.Header().Set("X-CQA-Degraded", "count-sampling")
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

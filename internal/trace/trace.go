@@ -57,12 +57,17 @@ const (
 	// StageShardIndex is the per-shard block-index build of a sharded
 	// snapshot (the shard-local analogue of StageIndexBuild).
 	StageShardIndex
+	// StageCount is the #CERTAINTY repair-counting engine: constraint
+	// extraction, component factorization, and the per-component exact
+	// enumeration or Monte Carlo estimation.
+	StageCount
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"normalize", "compile", "index-build", "purify", "match",
 	"eliminator", "ptime", "conp", "sampling", "shard", "shard-index",
+	"count",
 }
 
 // String names the stage as it appears in breakdowns and metrics.
@@ -98,12 +103,19 @@ const (
 	CtrFacts
 	// CtrMatches counts enumerated embeddings.
 	CtrMatches
+	// CtrComponents counts independent constraint components factorized
+	// by the repair counter.
+	CtrComponents
+	// CtrSamples counts Monte Carlo repair samples drawn by anytime
+	// estimation (oversized counting components, coNP degradation).
+	CtrSamples
 	numCounters
 )
 
 var counterNames = [numCounters]string{
 	"steps", "memo_hits", "memo_misses", "nodes", "restarts",
 	"branches", "dissolutions", "rounds", "facts", "matches",
+	"components", "samples",
 }
 
 // String names the counter.
